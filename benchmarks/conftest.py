@@ -1,0 +1,36 @@
+"""Shared infrastructure for the benchmark suite.
+
+Each benchmark regenerates one of the paper's tables or figures (see
+DESIGN.md's experiment index).  The Figure 7 benches run at
+``REPRO_BENCH_SCALE`` (default 100 -- a 1/100-size run finishing in
+seconds); set ``REPRO_BENCH_SCALE=1`` for the paper's exact record
+counts (a few minutes of wall time, all counters at paper scale).
+
+Measured-vs-paper rows are printed to stdout (visible with ``-s`` or in
+pytest's captured output) and asserted where the paper gives a number.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def bench_scale() -> int:
+    return int(os.environ.get("REPRO_BENCH_SCALE", "100"))
+
+
+@pytest.fixture(scope="session")
+def scale() -> int:
+    return bench_scale()
+
+
+def print_rows(title: str, rows: list[tuple]) -> None:
+    """Uniform 'paper vs measured' table output."""
+    print(f"\n== {title} ==")
+    widths = [max(len(str(row[i])) for row in rows)
+              for i in range(len(rows[0]))]
+    for row in rows:
+        print("  " + "  ".join(str(cell).ljust(w)
+                               for cell, w in zip(row, widths)))

@@ -1,0 +1,84 @@
+"""Ablation A1 -- the alpha' sweep behind Section 6's design choice.
+
+Section 6 fixes alpha' = 0.9 for the evaluation; this ablation sweeps
+it.  Two forces trade off:
+
+* smaller alpha' means fewer, larger consolidated segments per flush
+  (fewer seeks), but
+* smaller alpha' means more files and more dummy storage
+  (``(2 - alpha') * |R|`` total disk).
+
+The sweep regenerates both curves and checks the monotonicity the
+analysis predicts, then measures a sweep end to end on the simulator.
+"""
+
+import pytest
+
+from conftest import print_rows
+from repro.analysis import (
+    geometric_flush_cost,
+    multi_file_storage_blowup,
+    segments_per_flush,
+)
+from repro.bench import experiment_1, run_until
+from repro.core.multi import MultiFileConfig, MultipleGeometricFiles
+from repro.storage.device import SimulatedBlockDevice
+
+SWEEP = (0.5, 0.7, 0.8, 0.9, 0.95, 0.99)
+
+
+def test_analytic_alpha_sweep(benchmark):
+    buffer, beta = 10 ** 7, 320
+    rows = [("alpha'", "segments/flush", "seek s/flush", "disk blowup")]
+    segment_counts = []
+    for alpha_prime in SWEEP:
+        segments = segments_per_flush(buffer, alpha_prime, beta)
+        cost = geometric_flush_cost(buffer, 100, alpha_prime, beta)
+        blowup = multi_file_storage_blowup(alpha_prime)
+        segment_counts.append(segments)
+        rows.append((alpha_prime, segments,
+                     f"{cost.seek_seconds:.1f}", f"{blowup:.2f}x"))
+    print_rows("alpha' ablation (1 GB flush, paper disk)", rows)
+    assert segment_counts == sorted(segment_counts)
+    # The knee: going below 0.9 saves little time but costs real disk.
+    cost_09 = geometric_flush_cost(buffer, 100, 0.9, beta)
+    cost_05 = geometric_flush_cost(buffer, 100, 0.5, beta)
+    assert cost_09.total_seconds < 1.2 * cost_05.total_seconds
+    assert multi_file_storage_blowup(0.5) == pytest.approx(1.5)
+
+
+def test_measured_alpha_sweep(benchmark, scale):
+    """Throughput of the multi-file option across alpha' values."""
+    def run():
+        spec = experiment_1(scale=scale, seed=0)
+        out = []
+        for alpha_prime in (0.6, 0.8, 0.9, 0.95):
+            config = MultiFileConfig(
+                capacity=spec.capacity,
+                buffer_capacity=spec.buffer_capacity,
+                record_size=spec.record_size,
+                alpha_prime=alpha_prime,
+            )
+            blocks = MultipleGeometricFiles.required_blocks(
+                config, spec.disk_parameters().block_size
+            )
+            device = SimulatedBlockDevice(blocks, spec.disk_parameters())
+            reservoir = MultipleGeometricFiles(device, config, seed=0)
+            result = run_until(reservoir, spec.horizon_seconds)
+            out.append((alpha_prime, reservoir.n_files,
+                        result.final_samples, result.seeks,
+                        blocks * spec.disk_parameters().block_size))
+        return out
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [("alpha'", "files", "samples", "seeks", "disk bytes")]
+    for alpha_prime, m, samples, seeks, disk in table:
+        rows.append((alpha_prime, m, f"{samples:,}", f"{seeks:,}",
+                     f"{disk:,}"))
+    print_rows(f"measured alpha' sweep at scale 1/{scale}", rows)
+    # Coarser ladders (smaller alpha') must not be slower, and disk
+    # footprint must grow as alpha' falls.
+    samples_by_alpha = [row[2] for row in table]
+    assert samples_by_alpha[0] >= samples_by_alpha[-1] * 0.8
+    disks = [row[4] for row in table]
+    assert disks == sorted(disks, reverse=True)

@@ -1,0 +1,92 @@
+"""Figure 7 (a) -- Experiment 1: 50 B records, 600 MB of memory.
+
+Regenerates the paper's first benchmark panel: all five alternatives
+maintain a (scaled) 50 GB reservoir of 50 B records for 20 simulated
+hours; the output series is cumulative samples added versus simulated
+time.  Shape assertions encode the paper's findings:
+
+* the multiple-geo-files option runs near the disk's sequential rate
+  and shows no post-fill collapse;
+* localized overwrite is competitive early and degrades;
+* the single geometric file sits well below both (alpha is pinned at
+  1 - B/N by Lemma 1);
+* scan and virtual memory do almost all their work during the fill.
+"""
+
+import pytest
+
+from conftest import print_rows
+from repro.bench import (
+    ALTERNATIVE_NAMES,
+    experiment_1,
+    io_summary_table,
+    run_until,
+    throughput_table,
+)
+
+_RESULTS: dict[str, object] = {}
+
+
+def _spec(scale):
+    return experiment_1(scale=scale, seed=0)
+
+
+@pytest.mark.parametrize("name", ALTERNATIVE_NAMES)
+def test_run_alternative(benchmark, scale, name):
+    spec = _spec(scale)
+
+    def run():
+        reservoir = spec.make(name)
+        return run_until(reservoir, spec.horizon_seconds)
+
+    _RESULTS[name] = benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_figure_7a_shape(benchmark, scale):
+    spec = _spec(scale)
+    results = benchmark.pedantic(
+        lambda: {name: _RESULTS.get(name) or run_until(
+            spec.make(name), spec.horizon_seconds)
+            for name in ALTERNATIVE_NAMES},
+        rounds=1, iterations=1,
+    )
+    ordered = [results[name] for name in ALTERNATIVE_NAMES]
+    print()
+    print(f"Experiment 1 (fig 7a), scale 1/{scale}: "
+          f"N={spec.capacity:,} x {spec.record_size} B, "
+          f"B={spec.buffer_capacity:,}, "
+          f"{spec.horizon_seconds / 3600:.2f} simulated hours")
+    print(throughput_table(ordered, spec.horizon_seconds, n_rows=8))
+    print(io_summary_table(ordered))
+
+    finals = {name: r.final_samples for name, r in results.items()}
+    fill = spec.capacity
+    rows = [("alternative", "samples added", "x fill")]
+    for name in ALTERNATIVE_NAMES:
+        rows.append((name, f"{finals[name]:,}",
+                     f"{finals[name] / fill:.2f}"))
+    print_rows("fig 7a finals", rows)
+
+    # Paper findings (Section 8 discussion).  The full ordering --
+    # multi ahead of local overwrite by the end of the run -- emerges
+    # at paper scale (REPRO_BENCH_SCALE=1): scaled-down runs keep all
+    # ratios but inflate seek weight (segment counts shrink only
+    # logarithmically), which flatters local overwrite's early phase.
+    assert finals["local overwrite"] > finals["geo file"]
+    assert finals["multiple geo files"] > finals["geo file"]
+    assert finals["multiple geo files"] > finals["scan"]
+    assert finals["multiple geo files"] > finals["virtual mem"]
+    if scale == 1:
+        assert finals["geo file"] > fill  # keeps working post-fill
+    assert finals["virtual mem"] < 1.2 * fill  # essentially fill-only
+    if scale == 1:
+        assert finals["multiple geo files"] == max(finals.values())
+    # The single file is dominated by head movements; the multi-file
+    # option spends a strictly smaller share of its time seeking.  At
+    # paper scale it writes mostly sequentially (paper: "almost at the
+    # maximum sustained speed of the hard disk").
+    assert (results["multiple geo files"].random_io_fraction
+            < results["geo file"].random_io_fraction)
+    assert results["geo file"].random_io_fraction > 0.6
+    if scale == 1:
+        assert results["multiple geo files"].random_io_fraction < 0.6

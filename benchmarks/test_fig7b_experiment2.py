@@ -1,0 +1,72 @@
+"""Figure 7 (b) -- Experiment 2: 1 KB records, 600 MB of memory.
+
+Identical to Experiment 1 but with 1 KB records ("we test the effect of
+record size on the five options").  Fewer, larger records mean fewer
+segments per flush (B is 20x smaller in records), so the geometric
+structures get *more* sequential; virtual memory is unaffected (still
+one random block per record); scan is unchanged in byte terms.
+"""
+
+import pytest
+
+from conftest import print_rows
+from repro.bench import (
+    ALTERNATIVE_NAMES,
+    experiment_2,
+    io_summary_table,
+    run_until,
+    throughput_table,
+)
+
+_RESULTS: dict[str, object] = {}
+
+
+@pytest.mark.parametrize("name", ALTERNATIVE_NAMES)
+def test_run_alternative(benchmark, scale, name):
+    spec = experiment_2(scale=scale, seed=0)
+
+    def run():
+        return run_until(spec.make(name), spec.horizon_seconds)
+
+    _RESULTS[name] = benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_figure_7b_shape(benchmark, scale):
+    spec = experiment_2(scale=scale, seed=0)
+    results = benchmark.pedantic(
+        lambda: {name: _RESULTS.get(name) or run_until(
+            spec.make(name), spec.horizon_seconds)
+            for name in ALTERNATIVE_NAMES},
+        rounds=1, iterations=1,
+    )
+    ordered = [results[name] for name in ALTERNATIVE_NAMES]
+    print()
+    print(f"Experiment 2 (fig 7b), scale 1/{scale}: "
+          f"N={spec.capacity:,} x {spec.record_size} B, "
+          f"B={spec.buffer_capacity:,}")
+    print(throughput_table(ordered, spec.horizon_seconds, n_rows=8,
+                           unit=1e3, unit_label="k"))
+    print(io_summary_table(ordered))
+
+    finals = {name: r.final_samples for name, r in results.items()}
+    fill = spec.capacity
+    rows = [("alternative", "samples added", "x fill")]
+    for name in ALTERNATIVE_NAMES:
+        rows.append((name, f"{finals[name]:,}",
+                     f"{finals[name] / fill:.2f}"))
+    print_rows("fig 7b finals", rows)
+
+    # Same qualitative ordering as Experiment 1 (see the fig 7a
+    # bench for why local-vs-multi needs scale 1).
+    assert finals["local overwrite"] > finals["geo file"]
+    assert finals["multiple geo files"] > finals["geo file"]
+    assert finals["multiple geo files"] > finals["virtual mem"]
+    assert finals["virtual mem"] < 1.2 * fill
+    if scale == 1:
+        assert finals["multiple geo files"] == max(finals.values())
+    # With 1 KB records the single geometric file's per-flush segment
+    # count shrinks, so it closes part of its gap to the leaders
+    # relative to Experiment 1 (paper: geo file performs "well" in
+    # Experiments 1 and 2 at ratio 100).  Quantitative at paper scale.
+    if scale == 1:
+        assert finals["geo file"] > 1.5 * fill

@@ -1,0 +1,113 @@
+"""Section 2 -- "Sampling: Sometimes a Little Is Not Enough".
+
+Regenerates the two worked examples that motivate the whole paper
+(student ages vs. household net worth) and quantifies them against the
+classical tail bounds, then demonstrates the phenomenon empirically on
+synthetic streams: heavy-tailed data really does need orders of
+magnitude more samples for the same accuracy.
+"""
+
+import random
+import statistics
+
+from conftest import print_rows
+from repro.estimate import (
+    achieved_confidence,
+    chebyshev_sample_size,
+    hoeffding_sample_size,
+    relative_error,
+    required_sample_size,
+)
+from repro.sampling import ReservoirSample
+from repro.streams import LogNormalStream, NormalStream, take
+
+
+def test_paper_examples_table(benchmark):
+    confidence = achieved_confidence(2.0, 20.0, 0.025, 100)
+    students = required_sample_size(2.0, 20.0, 0.025, confidence)
+    net_worth = required_sample_size(5_000_000.0, 140_000.0, 0.025,
+                                     confidence)
+    rows = [
+        ("population", "mean", "std", "paper says", "computed"),
+        ("student ages", "20", "2", "~100", students),
+        ("household net worth", "140,000", ">= 5,000,000",
+         "> 12 million", f"{net_worth:,}"),
+    ]
+    print_rows("Section 2 sample sizes (2.5% error, z = 2.5)", rows)
+    assert 100 <= students <= 101  # ceil() of exactly-100 + epsilon
+    assert net_worth > 12_000_000
+
+
+def test_bound_comparison_table(benchmark):
+    """CLT vs Chebyshev for the paper's two populations."""
+    rows = [("population", "CLT", "Chebyshev")]
+    for name, std, mean in (("student ages", 2.0, 20.0),
+                            ("net worth", 5e6, 1.4e5)):
+        clt = required_sample_size(std, mean, 0.025, 0.9876)
+        cheb = chebyshev_sample_size(std, 0.025 * mean, 1 - 0.9876)
+        rows.append((name, f"{clt:,}", f"{cheb:,}"))
+        assert cheb > clt  # distribution-free costs more
+    print_rows("sample sizes by bound", rows)
+
+
+def test_hoeffding_for_bounded_ages(benchmark):
+    # Ages bounded in [15, 90]: Hoeffding applies.
+    n = hoeffding_sample_size(75.0, 0.5, 0.0124)
+    print_rows("Hoeffding (ages in [15, 90], +-0.5y)",
+               [("samples", n)])
+    assert n > 100  # range-based bounds are far looser than the CLT
+
+
+def test_empirical_error_vs_sample_size(benchmark):
+    """Error really shrinks as 1/sqrt(N) -- measured on a stream."""
+    def measure():
+        stream = NormalStream(mean=20.0, std=2.0, seed=0)
+        data = [r.value for r in take(stream, 200_000)]
+        truth = statistics.mean(data)
+        rows = [("sample size", "median relative error")]
+        results = {}
+        for n in (100, 1_000, 10_000):
+            errors = []
+            for seed in range(15):
+                reservoir = ReservoirSample(n, random.Random(seed))
+                reservoir.extend(data)
+                estimate = statistics.mean(reservoir.contents())
+                errors.append(relative_error(estimate, truth))
+            med = statistics.median(errors)
+            results[n] = med
+            rows.append((f"{n:,}", f"{med:.4%}"))
+        print_rows("normal stream (easy case)", rows)
+        return results
+
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    # 100x more samples ~ 10x less error.
+    assert results[10_000] < results[100] / 3
+
+
+def test_heavy_tail_needs_big_samples(benchmark):
+    """The net-worth phenomenon on a lognormal stream: at equal sample
+    sizes, the heavy-tailed population's estimate is far worse."""
+    def measure():
+        n = 1000
+        out = {}
+        for label, stream in (
+            ("normal (cv 0.1)", NormalStream(20.0, 2.0, seed=1)),
+            ("lognormal (cv 5)", LogNormalStream(20.0, 100.0, seed=1)),
+        ):
+            data = [r.value for r in take(stream, 150_000)]
+            truth = statistics.mean(data)
+            errors = []
+            for seed in range(25):
+                reservoir = ReservoirSample(n, random.Random(seed))
+                reservoir.extend(data)
+                errors.append(relative_error(
+                    statistics.mean(reservoir.contents()), truth))
+            out[label] = statistics.median(errors)
+        return out
+
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    rows = [("population", "median rel. error at N=1000")]
+    for label, err in results.items():
+        rows.append((label, f"{err:.3%}"))
+    print_rows("same sample size, different variance", rows)
+    assert results["lognormal (cv 5)"] > 8 * results["normal (cv 0.1)"]

@@ -1,0 +1,140 @@
+"""Section 4.5.1 -- sizing the LIFO stacks.
+
+Regenerates the stack-sizing analysis (worst-case sigma of 0.5*sqrt(B),
+the ~1e-9 overflow probability of a 3*sqrt(B) stack, survival across
+100,000 flushes) and validates it against the simulator: observed stack
+high-water marks across long runs stay far inside the bound.
+
+Note: the paper prints the 100,000-flush survival as "99.99990%";
+(1 - 1e-9)^100,000 is 99.990% -- the printed figure drops a digit.  We
+report the correct value (see EXPERIMENTS.md).
+"""
+
+import math
+
+import pytest
+
+from conftest import print_rows
+from repro.analysis import (
+    no_overflow_probability,
+    overflow_probability,
+    required_multiplier,
+    worst_case_sigma,
+)
+from repro.core.geometric_file import GeometricFile, GeometricFileConfig
+from repro.storage.device import SimulatedBlockDevice
+from repro.storage.disk_model import DiskParameters
+
+
+def test_section4_numbers(benchmark):
+    b = 10 ** 7
+    sigma = worst_case_sigma(b)
+    p = overflow_probability(b, 3.0)
+    survive = no_overflow_probability(100_000, 3.0)
+    rows = [
+        ("quantity", "paper", "computed"),
+        ("worst-case sigma (B = 1e7)", "0.5 sqrt(B) = 1581",
+         f"{sigma:.0f}"),
+        ("stack size 3 sqrt(B)", "six sigma", f"{3 * math.sqrt(b):.0f}"),
+        ("per-subsample overflow P", "~1e-9", f"{p:.2e}"),
+        ("no overflow in 100k flushes", "99.99990% (sic)",
+         f"{100 * survive:.5f}%"),
+    ]
+    print_rows("Section 4.5.1 stack bounds", rows)
+    assert sigma == pytest.approx(1581.1, abs=1)
+    assert 5e-10 < p < 2e-9
+    assert 0.9999 < survive < 0.99991
+
+
+def test_multiplier_sweep(benchmark):
+    """How much stack buys how much safety (design-choice ablation)."""
+    def sweep():
+        return [(m, overflow_probability(10 ** 7, m),
+                 no_overflow_probability(100_000, m))
+                for m in (1.0, 1.5, 2.0, 2.5, 3.0, 3.5)]
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [("multiplier", "P(overflow)", "P(100k flushes clean)")]
+    for m, p, survive in table:
+        rows.append((m, f"{p:.2e}", f"{survive:.6f}"))
+    print_rows("stack multiplier ablation", rows)
+    # Monotone: bigger stacks, safer runs; 3.0 is the sweet spot the
+    # paper picks (first multiplier whose 100k survival is ~1).
+    survivals = [s for _, _, s in table]
+    assert survivals == sorted(survivals)
+    assert survivals[-2] > 0.9999
+
+
+def test_required_multiplier_for_risk_budgets(benchmark):
+    rows = [("target P(overflow)", "required multiplier")]
+    for target in (1e-6, 1e-9, 1e-12):
+        m = required_multiplier(target)
+        rows.append((f"{target:.0e}", f"{m:.2f}"))
+        assert overflow_probability(10 ** 7, m) <= target * 1.1
+    print_rows("inverse sizing", rows)
+
+
+def test_observed_high_water_marks(benchmark):
+    """Simulated stack excursions stay within the analytic sigma."""
+    def run():
+        config = GeometricFileConfig(
+            capacity=50_000, buffer_capacity=2000, record_size=50,
+            retain_records=False, admission="always", beta_records=200,
+        )
+        blocks = GeometricFile.required_blocks(config, 4096)
+        device = SimulatedBlockDevice(
+            blocks, DiskParameters(block_size=4096)
+        )
+        gf = GeometricFile(device, config, seed=11)
+        gf.ingest(600_000)
+        peak = max((s.max_stack_balance for s in gf.subsamples),
+                   default=0)
+        return peak, gf.stack_overflows
+
+    peak, overflows = benchmark.pedantic(run, rounds=1, iterations=1)
+    bound = 3 * math.sqrt(2000)
+    sigma = worst_case_sigma(2000)
+    rows = [("observed peak", "1 sigma", "3 sqrt(B) bound", "overflows"),
+            (peak, f"{sigma:.0f}", f"{bound:.0f}", overflows)]
+    print_rows("simulated stack excursions (B = 2000, 300 flushes)",
+               rows)
+    assert peak <= bound
+    assert overflows == 0
+
+
+def test_measured_overflows_vs_multiplier(benchmark):
+    """Undersized stacks actually overflow; 3 sqrt(B) does not.
+
+    The analytic sweep above predicts the failure probabilities; this
+    runs the simulator with deliberately small stacks and counts how
+    often the high-water mark exceeds them.
+    """
+    def run():
+        out = []
+        for multiplier in (0.25, 0.5, 1.0, 3.0):
+            config = GeometricFileConfig(
+                capacity=30_000, buffer_capacity=1500, record_size=50,
+                retain_records=False, admission="always",
+                beta_records=150, stack_multiplier=multiplier,
+            )
+            blocks = GeometricFile.required_blocks(config, 4096)
+            device = SimulatedBlockDevice(
+                blocks, DiskParameters(block_size=4096)
+            )
+            gf = GeometricFile(device, config, seed=3)
+            gf.ingest(400_000)
+            out.append((multiplier, gf.stack_overflows, gf.flushes))
+        return out
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [("multiplier", "overflow events", "flushes")]
+    for multiplier, overflows, flushes in table:
+        rows.append((multiplier, overflows, flushes))
+    print_rows("observed stack overflows vs multiplier (B = 1500)",
+               rows)
+    by_multiplier = {m: o for m, o, _ in table}
+    # Tiny stacks overflow; the paper's 3 sqrt(B) never does.
+    assert by_multiplier[0.25] > 0
+    assert by_multiplier[3.0] == 0
+    overflow_counts = [o for _, o, _ in table]
+    assert overflow_counts == sorted(overflow_counts, reverse=True)

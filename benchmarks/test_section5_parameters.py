@@ -1,0 +1,103 @@
+"""Section 5 -- choosing alpha and beta.
+
+Regenerates every number in the paper's parameter discussion:
+
+* the segment-count table for alpha in {0.99, 0.999} with a one-block
+  beta (1029 / 10344 segments);
+* the seek-time extrapolations (40 s vs 400 s of random I/O per 1 GB
+  flush, against ~25 s of sequential transfer);
+* Section 5.2's beta insensitivity (32 KB -> 1029 segments vs 1 MB ->
+  687: "by increasing ... by a factor of 32, we are able to reduce the
+  number of disk head movements by less than a factor of two");
+* Lemma 1 (the file size identity pinning alpha to 1 - B/N).
+
+Also runs the A2 ablation: segments per flush across a beta sweep.
+"""
+
+import pytest
+
+from conftest import print_rows
+from repro.analysis import geometric_flush_cost, seeks_per_flush, segments_per_flush
+from repro.core.geometry import alpha_for, build_ladder, geometric_total
+
+
+BUFFER = 10 ** 7          # 1 GB of 100 B records
+BETA_BLOCK = 320          # 32 KB block of 100 B records
+
+
+def test_section5_segment_table(benchmark):
+    rows = [("alpha", "beta (records)", "paper", "computed")]
+    cases = [(0.99, BETA_BLOCK, 1029), (0.999, BETA_BLOCK, 10344),
+             (0.99, 10 ** 4, 687)]
+    for alpha, beta, expected in cases:
+        got = segments_per_flush(BUFFER, alpha, beta)
+        rows.append((alpha, beta, expected, got))
+        assert got == expected
+    print_rows("Section 5.1/5.2 segments per subsample", rows)
+
+
+def test_section5_seek_time_extrapolation(benchmark):
+    rows = [("alpha", "seek seconds/flush", "transfer seconds/flush")]
+    for alpha, paper_seeks in ((0.99, 40), (0.999, 400)):
+        cost = geometric_flush_cost(BUFFER, 100, alpha, BETA_BLOCK)
+        rows.append((alpha, f"{cost.seek_seconds:.0f}",
+                     f"{cost.transfer_seconds:.0f}"))
+        assert cost.seek_seconds == pytest.approx(paper_seeks, rel=0.1)
+        assert cost.transfer_seconds == pytest.approx(25.0, rel=0.1)
+    print_rows("Section 5.1 per-flush disk time (paper: ~40 s vs "
+               "~400 s of seeks, ~25 s transfer)", rows)
+
+
+def test_lemma_1_identity(benchmark):
+    """B / (1 - alpha) = |R| for reservoirs across four magnitudes."""
+    rows = [("N", "B", "alpha", "sum of subsample sizes")]
+    for n, b in ((10 ** 5, 10 ** 3), (10 ** 6, 10 ** 4),
+                 (10 ** 8, 10 ** 6), (10 ** 9, 10 ** 7)):
+        alpha = alpha_for(n, b)
+        total = geometric_total(b, alpha)
+        rows.append((f"{n:,}", f"{b:,}", f"{alpha:.4f}", f"{total:,.0f}"))
+        assert total == pytest.approx(n)
+    print_rows("Lemma 1: the geometric file's size is |R|", rows)
+
+
+def test_ablation_beta_sweep(benchmark):
+    """A2: beta buys little -- the paper's reason to fix it at one
+    block and 'search for a better way to increase performance'."""
+    def sweep():
+        out = []
+        for beta in (320, 1000, 3200, 10_000, 32_000, 100_000):
+            segments = segments_per_flush(BUFFER, 0.99, beta)
+            seeks = seeks_per_flush(BUFFER, 0.99, beta)
+            out.append((beta, segments, seeks))
+        return out
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [("beta (records)", "segments", "seeks/flush (x4)")]
+    for beta, segments, seeks in table:
+        rows.append((f"{beta:,}", segments, f"{seeks:.0f}"))
+    print_rows("beta ablation at alpha = 0.99", rows)
+    # 312x more memory per subsample buys < 3.2x fewer segments.
+    first, last = table[0], table[-1]
+    assert last[0] == 312.5 * first[0] or last[0] >= 300 * first[0]
+    assert first[1] < 3.2 * last[1] * 1.6
+    assert first[1] / last[1] < 4
+
+
+def test_integer_ladders_match_analytics(benchmark):
+    """The built integer ladders agree with the closed forms."""
+    def build():
+        out = []
+        for alpha in (0.9, 0.99):
+            ladder = build_ladder(10 ** 5, alpha, 320)
+            out.append((alpha, ladder.n_disk_segments,
+                        segments_per_flush(10 ** 5, alpha, 320),
+                        ladder.total))
+        return out
+
+    table = benchmark.pedantic(build, rounds=1, iterations=1)
+    rows = [("alpha", "ladder segments", "analytic", "records")]
+    for alpha, built, analytic, total in table:
+        rows.append((alpha, built, analytic, f"{total:,}"))
+        assert built == analytic
+        assert total == 10 ** 5
+    print_rows("integer ladder vs closed form (B = 100k)", rows)

@@ -1,0 +1,81 @@
+"""Section 6 -- speeding things up with multiple geometric files.
+
+Regenerates the section's analysis and measurements:
+
+* the omega multiplier and the "(omega/B) log2 B" amortised seek cost;
+* "for alpha' = 0.9, we will need less than 100 segments per 1 GB
+  buffer flush.  At 4 seeks per segment, this is only 4 seconds of
+  random disk head movements to write 1 GB of new samples";
+* "we can achieve alpha' = 0.9 by using only 1.1 TB of disk storage"
+  for a 1 TB reservoir;
+* the measured single-vs-multi seek gap on the simulator.
+"""
+
+import pytest
+
+from conftest import print_rows
+from repro.analysis import (
+    files_needed,
+    geometric_flush_cost,
+    multi_file_storage_blowup,
+    omega,
+    segments_per_flush,
+)
+from repro.bench import experiment_1, run_until
+
+
+BUFFER = 10 ** 7   # 1 GB of 100 B records
+BETA = 320
+
+
+def test_section6_headline_numbers(benchmark):
+    segments = segments_per_flush(BUFFER, 0.9, BETA)
+    cost = geometric_flush_cost(BUFFER, 100, 0.9, BETA)
+    blowup = multi_file_storage_blowup(0.9)
+    m = files_needed(10 ** 10, 10 ** 7, 0.9)  # 1 TB / 1 GB in records
+    rows = [
+        ("quantity", "paper", "computed"),
+        ("segments per 1 GB flush", "< 100", segments),
+        ("seek seconds per flush", "~4 s", f"{cost.seek_seconds:.1f}"),
+        ("storage for 1 TB reservoir", "1.1 TB", f"{blowup:.2f} TB"),
+        ("files m for alpha'=0.9 at ratio 1000", "(1-.9)/(1-.999)=100",
+         m),
+    ]
+    print_rows("Section 6 analysis", rows)
+    assert segments < 100
+    assert cost.seek_seconds == pytest.approx(4.0, abs=0.5)
+    assert blowup == pytest.approx(1.1)
+    assert m == 100
+
+
+def test_omega_table(benchmark):
+    rows = [("alpha'", "omega", "segments per flush (B=1e7)")]
+    for alpha_prime in (0.5, 0.8, 0.9, 0.95, 0.97):
+        rows.append((alpha_prime, f"{omega(alpha_prime):.1f}",
+                     segments_per_flush(BUFFER, alpha_prime, BETA)))
+    print_rows("omega = 1/log2(1/alpha')", rows)
+    # omega "can be made very small (down to 20 or so in practice)".
+    assert omega(0.97) < 25
+
+
+def test_measured_single_vs_multi(benchmark, scale):
+    """The simulator's Experiment 1 gap between the two options."""
+    def run():
+        spec = experiment_1(scale=scale, seed=0)
+        single = run_until(spec.make("geo file"), spec.horizon_seconds)
+        multi = run_until(spec.make("multiple geo files"),
+                          spec.horizon_seconds)
+        return single, multi
+
+    single, multi = benchmark.pedantic(run, rounds=1, iterations=1)
+    spec = experiment_1(scale=scale, seed=0)
+    rows = [
+        ("option", "samples", "seeks", "seek-time share"),
+        ("geo file", f"{single.final_samples:,}", f"{single.seeks:,}",
+         f"{single.random_io_fraction:.0%}"),
+        ("multiple geo files", f"{multi.final_samples:,}",
+         f"{multi.seeks:,}", f"{multi.random_io_fraction:.0%}"),
+    ]
+    print_rows(f"single vs multi at scale 1/{scale}", rows)
+    assert multi.final_samples > 2 * single.final_samples
+    assert multi.random_io_fraction < single.random_io_fraction

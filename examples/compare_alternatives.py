@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Re-run the paper's Figure 7 (a) comparison and print the chart.
+
+All five alternatives from Sections 3-6 maintain the same reservoir
+from the same firehose; the simulated disk clock decides how many
+records each one manages to absorb.  This is the library's benchmark
+harness driven as an application -- the same thing `repro-bench fig7a`
+does, condensed.
+
+Run:
+    python examples/compare_alternatives.py            # 1/200 scale, fast
+    python examples/compare_alternatives.py --scale 1  # paper scale
+"""
+
+import argparse
+import time
+
+from repro.bench import (
+    ALTERNATIVE_NAMES,
+    ascii_chart,
+    experiment_1,
+    io_summary_table,
+    run_until,
+    throughput_table,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--scale", type=int, default=200,
+                        help="record-count divisor (1 = paper scale)")
+    args = parser.parse_args()
+
+    spec = experiment_1(scale=args.scale, seed=0)
+    print(f"Experiment 1 at scale 1/{args.scale}: "
+          f"{spec.capacity:,} x {spec.record_size} B reservoir, "
+          f"{spec.buffer_capacity:,}-record buffer, "
+          f"{spec.horizon_seconds / 3600:.2f} simulated hours\n")
+
+    results = []
+    for name in ALTERNATIVE_NAMES:
+        t0 = time.time()
+        result = run_until(spec.make(name), spec.horizon_seconds)
+        print(f"  {name:<20} done in {time.time() - t0:5.1f}s wall "
+              f"({result.final_samples:,} samples)")
+        results.append(result)
+
+    print()
+    print(throughput_table(results, spec.horizon_seconds))
+    print(io_summary_table(results))
+    print(ascii_chart(results, spec.horizon_seconds))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Biased sampling over a sensor stream (paper Section 7).
+
+The paper's motivating scenario for biased sampling: "in sensor data
+management, queries might refer to recent sensor readings far more
+frequently than older ones".  This example maintains two disk-resident
+samples of the same sensor stream side by side --
+
+* a *uniform* geometric file, and
+* a *recency-biased* one (exponential weights, configurable half-life)
+
+-- then answers a "what is the average reading over the last 5% of
+time?" query from both.  The biased sample has an order of magnitude
+more supporting records in the window; and thanks to the true-weight
+machinery of Section 7.3 (Horvitz-Thompson reweighting), it can still
+answer *whole-stream* questions without bias.
+
+Run:
+    python examples/sensor_biased_sampling.py
+"""
+
+import os
+import statistics
+
+from repro import GeometricFile, GeometricFileConfig, SimulatedBlockDevice
+from repro.core.biased_file import BiasedGeometricFile
+from repro.estimate import horvitz_thompson_count, relative_error
+from repro.sampling.weights import exponential_recency
+from repro.streams import SensorStream, take
+
+_QUICK = bool(os.environ.get("REPRO_EXAMPLE_QUICK"))
+STREAM_LENGTH = 10_000 if _QUICK else 60_000
+CAPACITY = 500 if _QUICK else 3_000
+
+
+def build(weight_fn=None, seed=0):
+    config = GeometricFileConfig(
+        capacity=CAPACITY, buffer_capacity=150, record_size=64,
+        retain_records=True, beta_records=15, admission="uniform",
+    )
+    blocks = GeometricFile.required_blocks(config, block_size=32 * 1024)
+    device = SimulatedBlockDevice(blocks)
+    if weight_fn is None:
+        return GeometricFile(device, config, seed=seed)
+    return BiasedGeometricFile(device, config, weight_fn, seed=seed)
+
+
+def main() -> None:
+    print(f"streaming {STREAM_LENGTH:,} sensor readings "
+          f"(100 sensors, 4 regions) ...")
+    records = take(SensorStream(n_sensors=100, n_regions=4, seed=3),
+                   STREAM_LENGTH)
+    horizon = records[-1].timestamp
+    half_life = horizon / 10.0
+
+    uniform = build()
+    biased = build(exponential_recency(half_life))
+    for record in records:
+        uniform.offer(record)
+        biased.offer(record)
+
+    # -- the recent-window query -----------------------------------------
+    cutoff = horizon * 0.95
+    truth = statistics.mean(r.value for r in records
+                            if r.timestamp >= cutoff)
+
+    uniform_window = [r.value for r in uniform.sample()
+                      if r.timestamp >= cutoff]
+    biased_window = [r.value for r, _w in biased.items()
+                     if r.timestamp >= cutoff]
+
+    print(f"\nquery: AVG(reading) over the last 5% of time "
+          f"(truth {truth:.3f})")
+    for label, window in (("uniform sample", uniform_window),
+                          ("recency-biased sample", biased_window)):
+        if len(window) >= 2:
+            estimate = statistics.mean(window)
+            print(f"  {label:<22} {len(window):>5} supporting records, "
+                  f"estimate {estimate:.3f} "
+                  f"(error {relative_error(estimate, truth):.2%})")
+        else:
+            print(f"  {label:<22} {len(window):>5} supporting records "
+                  f"-- too few to estimate!")
+    print(f"  -> the biased sample supports the recent-data query with "
+          f"{len(biased_window) / max(1, len(uniform_window)):.0f}x "
+          f"the records")
+
+    # -- Section 7.3: the biased sample still answers global queries ----
+    estimate = horvitz_thompson_count(
+        biased.items(), biased.total_weight, biased.capacity,
+        predicate=lambda r: True,
+    )
+    print(f"\nHorvitz-Thompson stream-length estimate from the biased "
+          f"sample: {estimate.value:,.0f} "
+          f"(truth {STREAM_LENGTH:,}; "
+          f"error {relative_error(estimate.value, STREAM_LENGTH):.2%})")
+    print(f"weight-overflow rescalings along the way: "
+          f"{biased.overflow_events}")
+
+
+if __name__ == "__main__":
+    main()

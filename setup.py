@@ -1,0 +1,11 @@
+"""Legacy shim: this environment lacks the `wheel` package (offline), so
+PEP 660 editable installs fail; `python setup.py develop` uses this file
+instead.  Metadata lives in pyproject.toml; the console script is
+repeated here because the legacy path does not read [project.scripts]."""
+from setuptools import setup
+
+setup(
+    entry_points={
+        "console_scripts": ["repro-bench=repro.cli:main"],
+    },
+)

@@ -1,0 +1,88 @@
+"""Reproduction of "Online Maintenance of Very Large Random Samples"
+(Jermaine, Pol, Arumugam; SIGMOD 2004).
+
+The package maintains disk-resident reservoir samples of ``N`` records
+fed online from a data stream using a memory buffer of ``B << N``
+records.  The headline structure is the *geometric file* and its
+multi-file extension; the Section 3 baselines, biased sampling, and the
+statistical machinery that motivates very large samples are all here
+too.
+
+Quick start::
+
+    from repro import (GeometricFileConfig, GeometricFile,
+                       SimulatedBlockDevice)
+
+    config = GeometricFileConfig(capacity=1_000_000,
+                                 buffer_capacity=10_000, record_size=50)
+    blocks = GeometricFile.required_blocks(config, block_size=32 * 1024)
+    device = SimulatedBlockDevice(blocks)
+    sample = GeometricFile(device, config, seed=42)
+    sample.ingest(50_000_000)   # stream fifty million records past it
+    print(sample.disk_size, sample.clock)
+
+See README.md and the ``examples/`` directory.
+"""
+
+from .baselines import (
+    DiskReservoirConfig,
+    LocalOverwriteReservoir,
+    ScanReservoir,
+    VirtualMemoryReservoir,
+)
+from .core import (
+    BiasedGeometricFile,
+    BiasedMultipleGeometricFiles,
+    GeometricFile,
+    GeometricFileConfig,
+    MultiFileConfig,
+    MultipleGeometricFiles,
+    ZoneMapIndex,
+    load_geometric_file,
+    save_geometric_file,
+)
+from .estimate import SampleQuery, required_sample_size
+from .reservoir import StreamReservoir
+from .sampling import BiasedReservoir, ReservoirSample, SkipReservoir
+from .storage import (
+    DiskModel,
+    DiskParameters,
+    FileBlockDevice,
+    MemoryBlockDevice,
+    Record,
+    SimulatedBlockDevice,
+)
+from .streams import SensorStream, UniformStream, ZipfStream
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BiasedGeometricFile",
+    "BiasedMultipleGeometricFiles",
+    "BiasedReservoir",
+    "DiskModel",
+    "DiskParameters",
+    "DiskReservoirConfig",
+    "FileBlockDevice",
+    "GeometricFile",
+    "GeometricFileConfig",
+    "LocalOverwriteReservoir",
+    "MemoryBlockDevice",
+    "MultiFileConfig",
+    "MultipleGeometricFiles",
+    "Record",
+    "ReservoirSample",
+    "SampleQuery",
+    "ScanReservoir",
+    "SensorStream",
+    "SimulatedBlockDevice",
+    "SkipReservoir",
+    "StreamReservoir",
+    "UniformStream",
+    "VirtualMemoryReservoir",
+    "ZipfStream",
+    "ZoneMapIndex",
+    "load_geometric_file",
+    "required_sample_size",
+    "save_geometric_file",
+]

@@ -1,0 +1,44 @@
+"""Analytical models: closed-form cost predictions (Sections 3, 5, 6)
+and stack sizing bounds (Section 4.5.1)."""
+
+from .cost import (
+    FlushCost,
+    files_needed,
+    geometric_flush_cost,
+    local_overwrite_saturated_cohorts,
+    multi_file_storage_blowup,
+    omega,
+    scan_flush_cost,
+    seeks_per_flush,
+    seeks_per_record,
+    segments_per_flush,
+    virtual_memory_record_cost,
+)
+from .stack_bounds import (
+    no_overflow_probability,
+    overflow_probability,
+    required_multiplier,
+    subsample_size_sigma,
+    survival_probability,
+    worst_case_sigma,
+)
+
+__all__ = [
+    "FlushCost",
+    "files_needed",
+    "geometric_flush_cost",
+    "local_overwrite_saturated_cohorts",
+    "multi_file_storage_blowup",
+    "no_overflow_probability",
+    "omega",
+    "overflow_probability",
+    "required_multiplier",
+    "scan_flush_cost",
+    "seeks_per_flush",
+    "seeks_per_record",
+    "segments_per_flush",
+    "subsample_size_sigma",
+    "survival_probability",
+    "virtual_memory_record_cost",
+    "worst_case_sigma",
+]

@@ -1,0 +1,108 @@
+"""Stack sizing analysis (paper Section 4.5.1).
+
+How big must a subsample's pre-allocated LIFO stack be so that it
+(essentially) never overflows?  The paper's argument, reproduced here
+as code:
+
+* while ``b`` new records have been added since a subsample ``S`` of
+  initial size ``B`` was created, each of S's records survives
+  independently with probability ``P = (1 - 1/|R|)**b``, so the number
+  remaining is Binomial(B, P);
+* the binomial is well-approximated by Normal(BP, BP(1-P)); its
+  standard deviation peaks at ``0.5 * sqrt(B)`` when ``P = 0.5``;
+* a stack of ``3 * sqrt(B)`` therefore allows a six-sigma excursion,
+  giving ~1e-9 per-subsample overflow probability and a
+  ``(1 - 1e-9)**100000 ~ 99.99990%`` chance that 100,000 flushes all
+  survive.
+
+``benchmarks/test_section4_stack_bounds.py`` prints the paper's numbers
+from these functions, and the integration tests check the simulator's
+observed stack high-water marks against the predicted sigma.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..estimate.clt import normal_cdf
+
+
+def survival_probability(reservoir_records: int, additions: int) -> float:
+    """P that a given record survives ``additions`` new admissions.
+
+    Each admission overwrites a uniformly random resident, so a record
+    survives one with probability ``1 - 1/|R|``.
+    """
+    if reservoir_records < 1:
+        raise ValueError("reservoir must hold at least one record")
+    if additions < 0:
+        raise ValueError("additions must be non-negative")
+    return (1.0 - 1.0 / reservoir_records) ** additions
+
+
+def subsample_size_sigma(initial_size: int, survival: float) -> float:
+    """Std dev of a subsample's surviving count: ``sqrt(B P (1-P))``."""
+    if initial_size < 1:
+        raise ValueError("subsample must start with at least one record")
+    if not 0.0 <= survival <= 1.0:
+        raise ValueError("survival probability must be in [0, 1]")
+    return math.sqrt(initial_size * survival * (1.0 - survival))
+
+
+def worst_case_sigma(initial_size: int) -> float:
+    """The P = 0.5 peak: ``0.5 * sqrt(B)`` (Section 4.5.1)."""
+    if initial_size < 1:
+        raise ValueError("subsample must start with at least one record")
+    return 0.5 * math.sqrt(initial_size)
+
+
+def overflow_probability(initial_size: int, stack_multiplier: float = 3.0
+                         ) -> float:
+    """P that a stack of ``multiplier * sqrt(B)`` ever looks too small.
+
+    The deviation of the surviving count from its mean is (normal
+    approximation) at worst ``Normal(0, (0.5 sqrt(B))**2)``; a stack of
+    ``multiplier * sqrt(B)`` is ``2 * multiplier`` sigmas, so the
+    one-sided overflow probability is ``1 - Phi(2 * multiplier)`` --
+    about 9.9e-10 for the paper's multiplier of 3 ("a 10^-9
+    probability").
+    """
+    if initial_size < 1:
+        raise ValueError("subsample must start with at least one record")
+    if stack_multiplier <= 0:
+        raise ValueError("stack multiplier must be positive")
+    return 1.0 - normal_cdf(2.0 * stack_multiplier)
+
+
+def no_overflow_probability(n_subsamples: int,
+                            stack_multiplier: float = 3.0,
+                            initial_size: int = 10 ** 7) -> float:
+    """P that none of ``n_subsamples`` ever overflows its stack.
+
+    The paper's closing number: "if the buffer is flushed to disk
+    100,000 times, then using a stack of size 3 sqrt(B) will yield ...
+    (1 - 1e-9)^100,000, or 99.99990%".
+    """
+    if n_subsamples < 0:
+        raise ValueError("subsample count must be non-negative")
+    p = overflow_probability(initial_size, stack_multiplier)
+    return (1.0 - p) ** n_subsamples
+
+
+def required_multiplier(target_overflow_probability: float) -> float:
+    """Smallest stack multiplier achieving a per-subsample target.
+
+    Inverts :func:`overflow_probability` by bisection on the normal
+    tail (monotone), so callers can size stacks for their own risk
+    budget instead of the paper's 3.
+    """
+    if not 0.0 < target_overflow_probability < 1.0:
+        raise ValueError("target probability must be in (0, 1)")
+    lo, hi = 0.0, 20.0
+    for _ in range(200):
+        mid = (lo + hi) / 2.0
+        if 1.0 - normal_cdf(2.0 * mid) > target_overflow_probability:
+            lo = mid
+        else:
+            hi = mid
+    return hi

@@ -1,0 +1,17 @@
+"""The three Section 3 alternatives the geometric file is benchmarked
+against: virtual memory, massive rebuild (scan), and localized
+overwrite."""
+
+from .base import BufferedDiskReservoir, DiskReservoirConfig, SequentialAppender
+from .local_overwrite import LocalOverwriteReservoir
+from .scan_rebuild import ScanReservoir
+from .virtual_memory import VirtualMemoryReservoir
+
+__all__ = [
+    "BufferedDiskReservoir",
+    "DiskReservoirConfig",
+    "LocalOverwriteReservoir",
+    "ScanReservoir",
+    "SequentialAppender",
+    "VirtualMemoryReservoir",
+]

@@ -1,0 +1,199 @@
+"""Shared plumbing for the Section 3 baseline alternatives.
+
+All three baselines (and the geometric file) share the same outer loop:
+an initial *fill* phase that streams the first ``N`` admitted records
+"more or less directly to disk" (Section 8's observation that every
+option writes the first 50 GB at sequential speed), followed by a
+steady state in which new admissions displace old residents.  The scan
+and localized-overwrite baselines additionally share the geometric
+file's in-memory buffer of new samples (Algorithm 2).
+
+:class:`DiskReservoirConfig` carries the sizing every baseline needs;
+:class:`BufferedDiskReservoir` implements the fill phase, buffer
+management, and count-only fast path once, leaving each baseline a
+single ``_steady_flush`` hook.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.buffer import SampleBuffer
+from ..reservoir import AdmissionMode, StreamReservoir
+from ..storage.device import BlockDevice, SimulatedBlockDevice, write_zeros
+from ..storage.records import Record, RecordSchema
+
+
+@dataclass(frozen=True)
+class DiskReservoirConfig:
+    """Sizing shared by the baseline reservoir maintainers.
+
+    Attributes:
+        capacity: reservoir size ``N`` in records.
+        buffer_capacity: new-sample buffer ``B`` in records (unused by
+            the virtual-memory baseline, which spends all its memory on
+            the LRU pool instead).
+        record_size: bytes per record.
+        pool_blocks: LRU buffer-pool capacity in blocks (the paper's
+            100 MB read/write cache).
+        retain_records: keep record payloads (tests / small runs).
+        admission: see :class:`~repro.reservoir.StreamReservoir`.
+    """
+
+    capacity: int
+    buffer_capacity: int
+    record_size: int = 100
+    pool_blocks: int = 64
+    retain_records: bool = False
+    admission: AdmissionMode = "always"
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError("capacity must be positive")
+        if self.buffer_capacity < 1:
+            raise ValueError("buffer must hold at least one record")
+        if self.buffer_capacity >= self.capacity:
+            raise ValueError("buffer must be smaller than the reservoir")
+        if self.record_size < 1:
+            raise ValueError("record_size must be positive")
+        if self.pool_blocks < 1:
+            raise ValueError("pool needs at least one block")
+
+
+class SequentialAppender:
+    """Charges sequential block writes for a stream of appended records.
+
+    Used by the fill phase: records are packed into blocks and written
+    in large sequential bursts, so the simulated disk sees exactly the
+    append pattern a real implementation would produce.  Only whole
+    blocks are charged as they complete; the final partial block is
+    flushed by :meth:`finish`.
+    """
+
+    def __init__(self, device: BlockDevice, schema: RecordSchema,
+                 first_block: int = 0, *, burst_blocks: int = 256) -> None:
+        self.device = device
+        self.schema = schema
+        self.records_per_block = schema.records_per_block(device.block_size)
+        self._next_block = first_block
+        self._partial = 0  # records in the currently-filling block
+        self._burst = burst_blocks
+
+    @property
+    def next_block(self) -> int:
+        return self._next_block
+
+    def append(self, n_records: int) -> None:
+        """Account for ``n_records`` more records appended."""
+        if n_records < 0:
+            raise ValueError("cannot append a negative count")
+        total = self._partial + n_records
+        whole_blocks = total // self.records_per_block
+        self._partial = total % self.records_per_block
+        if whole_blocks > 0:
+            write_zeros(self.device, self._next_block, whole_blocks)
+            self._next_block += whole_blocks
+
+    def finish(self) -> None:
+        """Flush the trailing partial block, if any."""
+        if self._partial > 0:
+            write_zeros(self.device, self._next_block, 1)
+            self._next_block += 1
+            self._partial = 0
+
+
+class BufferedDiskReservoir(StreamReservoir):
+    """Base for alternatives that buffer new samples then flush in bulk.
+
+    Subclasses implement:
+
+    * :meth:`_finish_fill` -- called once, when the reservoir has just
+      filled (record mode receives the full record list);
+    * :meth:`_steady_flush` -- called per buffer flush with the drained
+      (shuffled) records, or ``None`` with a count in count-only mode.
+    """
+
+    def __init__(self, device: BlockDevice, config: DiskReservoirConfig,
+                 *, seed: int | None = 0) -> None:
+        super().__init__(config.capacity, admission=config.admission,
+                         seed=seed)
+        self.device = device
+        self.config = config
+        self.schema = RecordSchema(config.record_size)
+        self.buffer = SampleBuffer(config.buffer_capacity, self._rng,
+                                   retain_records=config.retain_records)
+        self._fill_appender = SequentialAppender(device, self.schema)
+        self._filled = 0
+        self._fill_records: list[Record] | None = (
+            [] if config.retain_records else None
+        )
+        self.flushes = 0
+        self.chunk_floor = config.buffer_capacity
+
+    # -- hooks ---------------------------------------------------------------
+
+    def _finish_fill(self, records: list[Record] | None) -> None:
+        raise NotImplementedError
+
+    def _steady_flush(self, records: list[Record] | None,
+                      count: int) -> None:
+        raise NotImplementedError
+
+    # -- observers -------------------------------------------------------------
+
+    @property
+    def clock(self) -> float:
+        # Duck-typed: any cost-modelled device (simulated, striped)
+        # exposes a simulated clock; byte-only backends do not.
+        return getattr(self.device, "clock", 0.0)
+
+    @property
+    def in_fill_phase(self) -> bool:
+        return self._filled < self.capacity
+
+    # -- StreamReservoir hooks ---------------------------------------------------
+
+    def _admit(self, record: Record | None) -> None:
+        if self.in_fill_phase:
+            self._fill_one(record)
+            return
+        self.buffer.add_admitted(record, self.capacity)
+        if self.buffer.is_full:
+            records, _, count = self.buffer.drain()
+            self._steady_flush(records, count)
+            self.flushes += 1
+
+    def _admit_count(self, n: int) -> None:
+        if self.in_fill_phase:
+            take = min(n, self.capacity - self._filled)
+            self._fill_appender.append(take)
+            self._filled += take
+            n -= take
+            if not self.in_fill_phase:
+                self._complete_fill()
+        while n > 0:
+            take = min(n, self.buffer.capacity - self.buffer.count)
+            self.buffer.append_count(take)
+            n -= take
+            if self.buffer.is_full:
+                _, __, count = self.buffer.drain()
+                self._steady_flush(None, count)
+                self.flushes += 1
+
+    # -- fill phase ----------------------------------------------------------------
+
+    def _fill_one(self, record: Record | None) -> None:
+        self._fill_appender.append(1)
+        self._filled += 1
+        if self._fill_records is not None:
+            if record is None:
+                raise ValueError("record-retaining mode needs the record")
+            self._fill_records.append(record)
+        if not self.in_fill_phase:
+            self._complete_fill()
+
+    def _complete_fill(self) -> None:
+        self._fill_appender.finish()
+        records = self._fill_records
+        self._fill_records = None
+        self._finish_fill(records)

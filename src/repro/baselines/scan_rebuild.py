@@ -1,0 +1,81 @@
+"""The massive-rebuild ("scan") extension (paper Section 3.2, Algorithm 2).
+
+"We could make use of all of our available main memory to buffer new
+samples.  When the buffer fills, we simply scan the entire reservoir
+and replace a random subset of the existing records with the new,
+buffered samples. ... The drawback of this approach is that we are
+effectively rebuilding the entire reservoir to process a set of
+buffered records that are a small fraction of the existing reservoir
+size."
+
+Steady state therefore costs one full sequential read plus one full
+sequential write of the reservoir per ``B`` new records -- fast I/O,
+terrible amortisation.  Which buffered record replaces which resident
+is Algorithm 2's uniform choice: a uniformly random ``B``-subset of the
+``N`` residents (record mode realises it explicitly; count-only mode
+needs no record bookkeeping at all).
+"""
+
+from __future__ import annotations
+
+from ..storage.device import BlockDevice, read_discard, write_zeros
+from ..storage.records import Record
+from .base import BufferedDiskReservoir, DiskReservoirConfig
+
+
+class ScanReservoir(BufferedDiskReservoir):
+    """Reservoir rebuilt by a full sequential scan per buffer flush."""
+
+    name = "scan"
+
+    def __init__(self, device: BlockDevice, config: DiskReservoirConfig,
+                 *, seed: int | None = 0) -> None:
+        super().__init__(device, config, seed=seed)
+        self._records: list[Record] | None = None
+        self._file_blocks = self.schema.blocks_for_records(
+            config.capacity, device.block_size
+        )
+        if self._file_blocks > device.n_blocks:
+            raise ValueError(
+                f"device too small: reservoir needs {self._file_blocks} "
+                f"blocks, device has {device.n_blocks}"
+            )
+
+    @classmethod
+    def required_blocks(cls, config: DiskReservoirConfig,
+                        block_size: int) -> int:
+        from ..storage.records import RecordSchema
+
+        schema = RecordSchema(config.record_size)
+        return schema.blocks_for_records(config.capacity, block_size)
+
+    def _finish_fill(self, records: list[Record] | None) -> None:
+        self._records = records
+
+    def _steady_flush(self, records: list[Record] | None,
+                      count: int) -> None:
+        """Read the whole file, splice in the new samples, write it back.
+
+        The scan is charged as two full sequential passes in large
+        bursts; with a big block size "most disk blocks will receive at
+        least one new sample" (Section 3.2), so every block is
+        rewritten.
+        """
+        self._charge_full_scan()
+        if self._records is not None and records is not None:
+            victims = self._rng.sample(range(self.capacity), count)
+            for slot, record in zip(victims, records):
+                self._records[slot] = record
+
+    def _charge_full_scan(self) -> None:
+        read_discard(self.device, 0, self._file_blocks)
+        write_zeros(self.device, 0, self._file_blocks)
+
+    def sample(self) -> list[Record]:
+        """Current reservoir contents plus pending buffered admissions."""
+        if self._records is None and self._fill_records is None:
+            raise TypeError("reservoir is running in count-only mode")
+        if self._records is None:
+            return list(self._fill_records or []) + list(self.buffer)
+        return self.apply_pending(self._records, list(self.buffer),
+                                  self._rng)

@@ -1,0 +1,178 @@
+"""The paper's three benchmark experiments (Section 8 / Figure 7).
+
+Each experiment maintains a 50 GB reservoir from a synthetic stream for
+20 hours, comparing the five alternatives:
+
+* Experiment 1 -- 1 billion 50 B records, 600 MB of memory
+  (500 MB new-sample buffer + 100 MB LRU pool; the virtual-memory
+  option gets the whole 600 MB as its pool);
+* Experiment 2 -- 50 million 1 KB records, same memory;
+* Experiment 3 -- 50 B records with memory cut to 150 MB
+  (50 MB buffer + 100 MB pool).
+
+The multi-file option uses ``alpha' = 0.9`` throughout, as the paper
+did.  A ``scale`` divisor shrinks the record *counts* (never the record
+size, block size, or disk parameters) so the suite can run quickly;
+``scale=1`` is the paper's exact configuration, feasible here because
+the count-only fast path does no per-record Python work.  Horizons are
+expressed as the paper's 20 hours divided by the same scale, keeping
+the x-axis in proportion to the (scale-invariant) reservoir fill time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..baselines import (
+    DiskReservoirConfig,
+    LocalOverwriteReservoir,
+    ScanReservoir,
+    VirtualMemoryReservoir,
+)
+from ..core.geometric_file import GeometricFile, GeometricFileConfig
+from ..core.multi import MultiFileConfig, MultipleGeometricFiles
+from ..reservoir import StreamReservoir
+from ..storage.device import SimulatedBlockDevice
+from ..storage.disk_model import DiskParameters
+
+GIB = 1024 ** 3
+MIB = 1024 ** 2
+
+#: Canonical ordering of the alternatives in tables and figures.
+ALTERNATIVE_NAMES = (
+    "virtual mem",
+    "scan",
+    "local overwrite",
+    "geo file",
+    "multiple geo files",
+)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One Figure 7 panel's parameters, at an adjustable scale.
+
+    Attributes:
+        name: label used in reports ("experiment 1 (fig 7a)").
+        record_size: bytes per record.
+        reservoir_bytes: paper-scale reservoir size.
+        buffer_bytes: paper-scale new-sample buffer.
+        pool_bytes: paper-scale LRU pool for the buffered options.
+        vm_pool_bytes: LRU pool for the virtual-memory option (it gets
+            everything).
+        horizon_hours: paper-scale experiment duration.
+        alpha_prime: per-file decay for the multi-file option.
+        scale: divisor applied to record counts and the horizon.
+    """
+
+    name: str
+    record_size: int
+    reservoir_bytes: int = 50 * GIB
+    buffer_bytes: int = 500 * MIB
+    pool_bytes: int = 100 * MIB
+    vm_pool_bytes: int = 600 * MIB
+    horizon_hours: float = 20.0
+    alpha_prime: float = 0.9
+    scale: int = 1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.scale < 1:
+            raise ValueError("scale must be at least 1")
+
+    # -- derived, scaled quantities -------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        """Reservoir size N in records, after scaling."""
+        return max(1000, self.reservoir_bytes // self.record_size
+                   // self.scale)
+
+    @property
+    def buffer_capacity(self) -> int:
+        """New-sample buffer B in records, after scaling."""
+        return max(50, self.buffer_bytes // self.record_size // self.scale)
+
+    @property
+    def horizon_seconds(self) -> float:
+        return self.horizon_hours * 3600.0 / self.scale
+
+    def disk_parameters(self) -> DiskParameters:
+        """The Section 8 disk: 10 ms access, 40 MB/s, 32 KB blocks."""
+        return DiskParameters(seek_time=0.010,
+                              transfer_rate=40 * MIB,
+                              block_size=32 * 1024)
+
+    def pool_blocks(self, block_size: int, *, virtual_memory: bool) -> int:
+        """LRU pool size in blocks (scaled with the record counts)."""
+        pool_bytes = (self.vm_pool_bytes if virtual_memory
+                      else self.pool_bytes)
+        return max(4, pool_bytes // block_size // self.scale)
+
+    # -- factories -------------------------------------------------------------
+
+    def make(self, name: str) -> StreamReservoir:
+        """Instantiate one alternative with its own simulated disk."""
+        params = self.disk_parameters()
+        block = params.block_size
+        if name == "geo file":
+            config = GeometricFileConfig(
+                capacity=self.capacity,
+                buffer_capacity=self.buffer_capacity,
+                record_size=self.record_size,
+            )
+            blocks = GeometricFile.required_blocks(config, block)
+            device = SimulatedBlockDevice(blocks, params)
+            return GeometricFile(device, config, seed=self.seed)
+        if name == "multiple geo files":
+            config = MultiFileConfig(
+                capacity=self.capacity,
+                buffer_capacity=self.buffer_capacity,
+                record_size=self.record_size,
+                alpha_prime=self.alpha_prime,
+            )
+            blocks = MultipleGeometricFiles.required_blocks(config, block)
+            device = SimulatedBlockDevice(blocks, params)
+            return MultipleGeometricFiles(device, config, seed=self.seed)
+        baseline_classes = {
+            "virtual mem": VirtualMemoryReservoir,
+            "scan": ScanReservoir,
+            "local overwrite": LocalOverwriteReservoir,
+        }
+        if name not in baseline_classes:
+            raise ValueError(f"unknown alternative {name!r}")
+        cls = baseline_classes[name]
+        config = DiskReservoirConfig(
+            capacity=self.capacity,
+            buffer_capacity=self.buffer_capacity,
+            record_size=self.record_size,
+            pool_blocks=self.pool_blocks(
+                block, virtual_memory=(name == "virtual mem")
+            ),
+        )
+        blocks = cls.required_blocks(config, block)
+        device = SimulatedBlockDevice(blocks, params)
+        return cls(device, config, seed=self.seed)
+
+    def make_all(self) -> dict[str, StreamReservoir]:
+        """One instance of each of the five alternatives."""
+        return {name: self.make(name) for name in ALTERNATIVE_NAMES}
+
+
+def experiment_1(scale: int = 1, seed: int = 0) -> ExperimentSpec:
+    """Figure 7 (a): 50 B records, 600 MB of memory."""
+    return ExperimentSpec(name="experiment 1 (fig 7a)", record_size=50,
+                          scale=scale, seed=seed)
+
+
+def experiment_2(scale: int = 1, seed: int = 0) -> ExperimentSpec:
+    """Figure 7 (b): 1 KB records, 600 MB of memory."""
+    return ExperimentSpec(name="experiment 2 (fig 7b)", record_size=1024,
+                          scale=scale, seed=seed)
+
+
+def experiment_3(scale: int = 1, seed: int = 0) -> ExperimentSpec:
+    """Figure 7 (c): 50 B records, memory cut to 150 MB."""
+    return ExperimentSpec(name="experiment 3 (fig 7c)", record_size=50,
+                          buffer_bytes=50 * MIB, vm_pool_bytes=150 * MIB,
+                          scale=scale, seed=seed)

@@ -1,0 +1,116 @@
+"""Rendering benchmark results: tables, ASCII curves, CSV.
+
+The paper reports its evaluation as throughput curves (Figure 7); the
+harness reproduces the same series and renders them as a fixed-width
+table (one column per alternative, one row per time checkpoint) plus a
+crude ASCII chart, both suitable for EXPERIMENTS.md and terminal
+output.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Sequence
+
+from .runner import RunResult
+
+
+def throughput_table(results: Sequence[RunResult], horizon: float,
+                     n_rows: int = 10, unit: float = 1e6,
+                     unit_label: str = "M") -> str:
+    """Samples-added-so-far at evenly spaced times, one row per time.
+
+    Args:
+        results: one :class:`RunResult` per alternative.
+        horizon: experiment duration in simulated seconds.
+        n_rows: number of time checkpoints printed.
+        unit: y-axis divisor (1e6 prints millions).
+        unit_label: suffix for the unit ("M", "B").
+    """
+    if not results:
+        raise ValueError("no results to tabulate")
+    out = io.StringIO()
+    names = [r.name for r in results]
+    width = max(12, max(len(n) for n in names) + 2)
+    out.write("time".rjust(10))
+    for name in names:
+        out.write(name.rjust(width))
+    out.write("\n")
+    for i in range(1, n_rows + 1):
+        t = horizon * i / n_rows
+        out.write(_format_time(t).rjust(10))
+        for result in results:
+            value = result.samples_at(t) / unit
+            out.write(f"{value:,.1f}{unit_label}".rjust(width))
+        out.write("\n")
+    return out.getvalue()
+
+
+def io_summary_table(results: Sequence[RunResult]) -> str:
+    """Final I/O statistics per alternative."""
+    out = io.StringIO()
+    header = (f"{'alternative':<20}{'samples':>14}{'seeks':>12}"
+              f"{'blk written':>13}{'blk read':>11}{'seq ratio':>11}"
+              f"{'seek time%':>12}\n")
+    out.write(header)
+    for r in results:
+        out.write(
+            f"{r.name:<20}{r.final_samples:>14,}{r.seeks:>12,}"
+            f"{r.blocks_written:>13,}{r.blocks_read:>11,}"
+            f"{r.sequential_ratio:>11.3f}"
+            f"{100 * r.random_io_fraction:>11.1f}%\n"
+        )
+    return out.getvalue()
+
+
+def ascii_chart(results: Sequence[RunResult], horizon: float,
+                width: int = 68, height: int = 16) -> str:
+    """A Figure 7 style ASCII chart: samples added vs. time.
+
+    Each alternative is drawn with its own marker; the legend maps
+    markers back to names.
+    """
+    if not results:
+        raise ValueError("no results to chart")
+    markers = "*o+x#@%&"
+    y_max = max(r.final_samples for r in results) or 1
+    grid = [[" "] * width for _ in range(height)]
+    for idx, result in enumerate(results):
+        marker = markers[idx % len(markers)]
+        for col in range(width):
+            t = horizon * (col + 1) / width
+            y = result.samples_at(t)
+            row = int((height - 1) * (1.0 - y / y_max))
+            row = min(height - 1, max(0, row))
+            if grid[row][col] == " ":
+                grid[row][col] = marker
+    out = io.StringIO()
+    top_label = f"{y_max:,.0f} samples"
+    out.write(top_label + "\n")
+    for row in grid:
+        out.write("|" + "".join(row) + "\n")
+    out.write("+" + "-" * width + "\n")
+    out.write(f"0 {' ' * (width - len(_format_time(horizon)) - 2)}"
+              f"{_format_time(horizon)}\n")
+    for idx, result in enumerate(results):
+        out.write(f"  {markers[idx % len(markers)]} {result.name}\n")
+    return out.getvalue()
+
+
+def to_csv(results: Sequence[RunResult]) -> str:
+    """Raw checkpoints as CSV (alternative,clock_seconds,samples_added)."""
+    out = io.StringIO()
+    out.write("alternative,clock_seconds,samples_added\n")
+    for result in results:
+        for point in result.points:
+            out.write(f"{result.name},{point.clock:.3f},"
+                      f"{point.samples_added}\n")
+    return out.getvalue()
+
+
+def _format_time(seconds: float) -> str:
+    if seconds >= 3600:
+        return f"{seconds / 3600:.1f}h"
+    if seconds >= 60:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds:.1f}s"

@@ -1,0 +1,94 @@
+"""Command-line entry point: ``repro-bench``.
+
+Runs the paper's Figure 7 experiments end to end and prints the
+throughput table, I/O summary, and an ASCII rendition of the figure.
+``--scale 1`` reproduces the paper's exact record counts (a billion
+50 B records); larger scales shrink the run proportionally.
+
+Examples::
+
+    repro-bench fig7a --scale 100
+    repro-bench fig7b --scale 1 --csv results.csv
+    repro-bench fig7c --only "geo file" --only "multiple geo files"
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .bench import (
+    ALTERNATIVE_NAMES,
+    ascii_chart,
+    experiment_1,
+    experiment_2,
+    experiment_3,
+    io_summary_table,
+    run_until,
+    throughput_table,
+    to_csv,
+)
+
+_EXPERIMENTS = {
+    "fig7a": experiment_1,
+    "fig7b": experiment_2,
+    "fig7c": experiment_3,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Reproduce the SIGMOD 2004 geometric-file benchmarks.",
+    )
+    parser.add_argument("experiment", choices=sorted(_EXPERIMENTS),
+                        help="which Figure 7 panel to run")
+    parser.add_argument("--scale", type=int, default=100,
+                        help="record-count divisor; 1 = paper scale "
+                             "(default: 100)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="RNG seed (default: 0)")
+    parser.add_argument("--only", action="append", default=None,
+                        metavar="NAME", choices=ALTERNATIVE_NAMES,
+                        help="run only this alternative (repeatable)")
+    parser.add_argument("--csv", metavar="PATH", default=None,
+                        help="also write raw checkpoints as CSV")
+    parser.add_argument("--no-chart", action="store_true",
+                        help="skip the ASCII chart")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    spec = _EXPERIMENTS[args.experiment](scale=args.scale, seed=args.seed)
+    names = args.only or list(ALTERNATIVE_NAMES)
+
+    print(f"{spec.name}  scale=1/{args.scale}")
+    print(f"  reservoir: {spec.capacity:,} x {spec.record_size} B records"
+          f"  buffer: {spec.buffer_capacity:,} records"
+          f"  horizon: {spec.horizon_seconds / 3600:.2f} simulated hours")
+    print()
+
+    results = []
+    for name in names:
+        t0 = time.time()
+        reservoir = spec.make(name)
+        result = run_until(reservoir, spec.horizon_seconds)
+        print(f"  ran {name:<20} ({time.time() - t0:6.1f}s wall, "
+              f"{result.final_samples:>16,} samples)")
+        results.append(result)
+    print()
+    print(throughput_table(results, spec.horizon_seconds))
+    print(io_summary_table(results))
+    if not args.no_chart:
+        print(ascii_chart(results, spec.horizon_seconds))
+    if args.csv:
+        with open(args.csv, "w", encoding="ascii") as sink:
+            sink.write(to_csv(results))
+        print(f"wrote {args.csv}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

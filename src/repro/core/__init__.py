@@ -1,0 +1,57 @@
+"""The paper's contribution: the geometric file (Sections 4-5), the
+multi-file construction (Section 6), biased sampling (Section 7), and
+the engineering around them (checkpointing, zone maps)."""
+
+from .biased_file import (
+    BiasedGeometricFile,
+    BiasedMultipleGeometricFiles,
+    BiasedSamplingMixin,
+)
+from .buffer import SampleBuffer
+from .checkpoint import load_geometric_file, save_geometric_file
+from .geometric_file import FileLayout, GeometricFile, GeometricFileConfig
+from .managed import ManagedSample
+from .geometry import (
+    SegmentLadder,
+    alpha_for,
+    build_ladder,
+    effective_alpha,
+    file_count_for,
+    geometric_sum,
+    geometric_tail_start,
+    geometric_total,
+    segments_on_disk,
+    startup_fill_sizes,
+)
+from .multi import MultiFileConfig, MultipleGeometricFiles
+from .subsample import StackEvent, SubsampleLedger
+from .zonemap import ZoneMapIndex, ZoneMapStats
+
+__all__ = [
+    "BiasedGeometricFile",
+    "BiasedMultipleGeometricFiles",
+    "BiasedSamplingMixin",
+    "FileLayout",
+    "GeometricFile",
+    "GeometricFileConfig",
+    "ManagedSample",
+    "MultiFileConfig",
+    "MultipleGeometricFiles",
+    "SampleBuffer",
+    "SegmentLadder",
+    "StackEvent",
+    "SubsampleLedger",
+    "ZoneMapIndex",
+    "ZoneMapStats",
+    "alpha_for",
+    "build_ladder",
+    "effective_alpha",
+    "file_count_for",
+    "geometric_sum",
+    "geometric_tail_start",
+    "geometric_total",
+    "load_geometric_file",
+    "save_geometric_file",
+    "segments_on_disk",
+    "startup_fill_sizes",
+]

@@ -1,0 +1,199 @@
+"""The in-memory buffer of newly captured samples (Algorithm 2).
+
+Between flushes, admitted records accumulate here.  Algorithm 2's key
+subtlety (lines 6-8) is that a newly admitted record must evict a
+uniformly random member of the *whole* current reservoir -- and with
+probability ``count(B)/|R|`` that member is itself a buffered record
+that has not reached disk yet.  In that case the replacement happens in
+memory and the buffer count stays put; otherwise the new record joins
+the buffer and one disk-resident record is doomed (which one is decided
+collectively at flush time by Algorithm 3's randomized partitioning).
+
+The buffer also supports the weighted variant: each slot can carry an
+effective weight, and Section 7.3.2's overflow events scale every
+buffered weight -- implemented with an epoch factor instead of an O(B)
+sweep, exactly as in
+:class:`~repro.sampling.biased_reservoir.BiasedReservoir`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from ..storage.records import Record
+
+_RENORMALIZE_ABOVE = 1e100
+
+
+class SampleBuffer:
+    """Fixed-capacity staging area for admitted records.
+
+    Args:
+        capacity: maximum records held (``|B|`` in the paper).
+        rng: randomness for the in-buffer replacement draw.
+        retain_records: keep the actual record objects.  Count-only
+            mode (``False``) powers the large benchmark runs, where
+            per-record Python objects would dominate the cost of the
+            experiment without affecting any I/O behaviour.
+    """
+
+    def __init__(self, capacity: int, rng: random.Random,
+                 *, retain_records: bool = True) -> None:
+        if capacity < 1:
+            raise ValueError("buffer capacity must be at least 1")
+        self.capacity = capacity
+        self._rng = rng
+        self._retain = retain_records
+        self._records: list[Record] | None = [] if retain_records else None
+        self._weights: list[float] | None = None
+        self._count = 0
+        self._scale = 1.0
+
+    # -- observers --------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def is_full(self) -> bool:
+        return self._count >= self.capacity
+
+    @property
+    def retains_records(self) -> bool:
+        return self._retain
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __iter__(self) -> Iterator[Record]:
+        if self._records is None:
+            raise TypeError("buffer is running in count-only mode")
+        return iter(self._records)
+
+    def weights(self) -> list[float]:
+        """Current effective weights (scaled), weighted buffers only."""
+        if self._weights is None:
+            raise TypeError("buffer holds no weights")
+        return [w * self._scale for w in self._weights]
+
+    # -- mutation ---------------------------------------------------------
+
+    def append(self, record: Record | None, weight: float | None = None) -> None:
+        """Add one record unconditionally (start-up phase).
+
+        While the reservoir is still filling nothing is ever evicted, so
+        admitted records simply join the buffer; the in-buffer
+        replacement branch only exists once the reservoir is full.
+        """
+        if self.is_full:
+            raise ValueError("buffer full; flush before appending more")
+        if weight is not None and self._weights is None:
+            if self._count > 0:
+                raise ValueError("cannot switch to weighted mode mid-fill")
+            self._weights = []
+        if self._records is not None:
+            if record is None:
+                raise ValueError("record-retaining buffer needs the record")
+            self._records.append(record)
+        if self._weights is not None:
+            if weight is None:
+                raise ValueError("weighted buffer requires a weight")
+            self._weights.append(weight / self._scale)
+        self._count += 1
+
+    def append_count(self, n: int) -> None:
+        """Add ``n`` anonymous records (count-only fast path)."""
+        if n < 0:
+            raise ValueError("cannot append a negative count")
+        if self._retain:
+            raise TypeError("buffer retains records; use append instead")
+        if self._count + n > self.capacity:
+            raise ValueError("append_count would overfill the buffer")
+        self._count += n
+
+    def add_admitted(self, record: Record | None, reservoir_size: int,
+                     weight: float | None = None) -> bool:
+        """Place one admitted record (Algorithm 2, lines 6-10).
+
+        Args:
+            record: the record, or ``None`` in count-only mode.
+            reservoir_size: ``|R|``, the fixed reservoir capacity.
+            weight: effective weight for weighted operation; the first
+                weighted add switches the buffer into weighted mode.
+
+        Returns:
+            True if the record *joined* the buffer (deferring one disk
+            eviction), False if it replaced an already-buffered record.
+
+        Raises:
+            ValueError: if called on a full buffer -- the caller must
+                flush first, mirroring Algorithm 2's line 12 check.
+        """
+        if self.is_full:
+            raise ValueError("buffer full; flush before admitting more")
+        if weight is not None and self._weights is None:
+            if self._count > 0:
+                raise ValueError("cannot switch to weighted mode mid-fill")
+            self._weights = []
+        # In-buffer replacement with probability count / |R|.
+        if self._count > 0 and self._rng.random() * reservoir_size < self._count:
+            slot = self._rng.randrange(self._count)
+            if self._records is not None and record is not None:
+                self._records[slot] = record
+            if self._weights is not None:
+                if weight is None:
+                    raise ValueError("weighted buffer requires a weight")
+                self._weights[slot] = weight / self._scale
+            return False
+        if self._records is not None:
+            if record is None:
+                raise ValueError("record-retaining buffer needs the record")
+            self._records.append(record)
+        if self._weights is not None:
+            if weight is None:
+                raise ValueError("weighted buffer requires a weight")
+            self._weights.append(weight / self._scale)
+        self._count += 1
+        return True
+
+    def scale_weights(self, factor: float) -> None:
+        """Section 7.3.2 step (2): scale every buffered effective weight."""
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        if self._weights is None:
+            raise TypeError("buffer holds no weights")
+        self._scale *= factor
+        if self._scale > _RENORMALIZE_ABOVE:
+            self._weights = [w * self._scale for w in self._weights]
+            self._scale = 1.0
+
+    def drain(self) -> tuple[list[Record] | None, list[float] | None, int]:
+        """Empty the buffer, returning (records, weights, count).
+
+        Records come back *shuffled* -- the paper's flush step begins
+        "first randomize the ordering of the sampled records in the
+        buffer" (Section 4.3), and the ledger's pop-from-the-end
+        eviction rule depends on it.
+        """
+        count = self._count
+        records = self._records
+        weights = None
+        if self._weights is not None:
+            weights = [w * self._scale for w in self._weights]
+        if records is not None:
+            paired = (list(zip(records, weights)) if weights is not None
+                      else None)
+            if paired is not None:
+                self._rng.shuffle(paired)
+                records = [r for r, _ in paired]
+                weights = [w for _, w in paired]
+            else:
+                records = list(records)
+                self._rng.shuffle(records)
+        self._count = 0
+        self._records = [] if self._retain else None
+        self._weights = [] if self._weights is not None else None
+        self._scale = 1.0
+        return records, weights, count

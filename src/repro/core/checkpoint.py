@@ -1,0 +1,229 @@
+"""Checkpointing a geometric file's logical state.
+
+Any production deployment of a structure that lives for months (the
+paper's premise: the reservoir is the durable synopsis of an unbounded
+stream) needs its catalog -- which subsamples exist, which slots and
+stack regions they own, how far the stream has progressed -- to survive
+restarts.  The paper leaves recovery as engineering; this module
+provides it: :func:`save_geometric_file` serialises the complete
+logical state (config, progress counters, every ledger, the buffer,
+and both RNG states) to JSON, and :func:`load_geometric_file`
+reconstructs a file that continues *bit-for-bit identically* to the
+original (tested).
+
+Record payloads are included when the file retains records; a
+count-only benchmark file round-trips its counters and layout only.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from dataclasses import asdict
+from typing import IO
+
+from ..storage.device import BlockDevice
+from ..storage.records import Record
+from .biased_file import (
+    BiasedGeometricFile,
+    BiasedMultipleGeometricFiles,
+    BiasedSamplingMixin,
+)
+from .geometric_file import GeometricFile, GeometricFileConfig
+from .multi import MultiFileConfig, MultipleGeometricFiles
+from .subsample import SubsampleLedger
+
+FORMAT_VERSION = 1
+
+
+def _encode_record(record: Record) -> list:
+    payload = base64.b64encode(record.payload).decode("ascii")
+    return [record.key, record.value, record.timestamp, payload]
+
+
+def _decode_record(fields: list) -> Record:
+    key, value, timestamp, payload = fields
+    return Record(key=int(key), value=float(value),
+                  timestamp=float(timestamp),
+                  payload=base64.b64decode(payload))
+
+
+def _encode_ledger(ledger: SubsampleLedger) -> dict:
+    state = {
+        "ident": ledger.ident,
+        "segment_sizes": list(ledger.segment_sizes),
+        "first_level": ledger.first_level,
+        "tail_size": ledger.tail_size,
+        "live": ledger.live,
+        "stack_balance": ledger.stack_balance,
+        "stack_capacity": ledger.stack_capacity,
+        "max_stack_balance": ledger.max_stack_balance,
+        "reconciled_balance": ledger._reconciled_balance,
+        "slots": list(ledger.slots),
+        "stack_region": ledger.stack_region,
+        "records": None,
+        "weights": None,
+    }
+    if ledger.records is not None:
+        state["records"] = [_encode_record(r) for r in ledger.records]
+    if ledger.weights is not None:
+        state["weights"] = list(ledger.weights)
+    return state
+
+
+def _decode_ledger(state: dict) -> SubsampleLedger:
+    records = state["records"]
+    if records is not None:
+        records = [_decode_record(f) for f in records]
+    ledger = SubsampleLedger.__new__(SubsampleLedger)
+    ledger.ident = state["ident"]
+    ledger.first_level = state["first_level"]
+    ledger.tail_size = state["tail_size"]
+    ledger.live = state["live"]
+    ledger.records = records
+    ledger.weights = (list(state["weights"])
+                      if state["weights"] is not None else None)
+    ledger.stack_balance = state["stack_balance"]
+    ledger.stack_capacity = state["stack_capacity"]
+    ledger.overflowed = False
+    ledger.max_stack_balance = state["max_stack_balance"]
+    ledger._reconciled_balance = state["reconciled_balance"]
+    ledger.stack_region = state["stack_region"]
+    ledger.restore_layout_state(state["segment_sizes"], state["slots"])
+    return ledger
+
+
+def save_geometric_file(gf: GeometricFile | MultipleGeometricFiles,
+                        sink: IO[str]) -> None:
+    """Serialise the structure's complete logical state as JSON.
+
+    Args:
+        gf: a (possibly biased) geometric file or a multi-file
+            structure.
+        sink: a text file-like object to write to.
+    """
+    buffer_records = None
+    buffer_weights = None
+    if gf.buffer.retains_records:
+        buffer_records = [_encode_record(r) for r in gf.buffer]
+        if gf.buffer._weights is not None:
+            buffer_weights = gf.buffer.weights()
+    state = {
+        "version": FORMAT_VERSION,
+        "kind": type(gf).__name__,
+        "config": asdict(gf.config),
+        "seen": gf.seen,
+        "samples_added": gf.samples_added,
+        "flushes": gf.flushes,
+        "stack_overflows": gf.stack_overflows,
+        "startup_index": gf._startup_index,
+        "next_ident": gf._next_ident,
+        "buffer_count": gf.buffer.count,
+        "buffer_records": buffer_records,
+        "buffer_weights": buffer_weights,
+        "rng_state": _encode_py_rng(gf._rng.getstate()),
+        "np_rng_state": gf._np_rng.bit_generator.state,
+    }
+    if isinstance(gf, MultipleGeometricFiles):
+        state["files"] = [
+            {
+                "free_slots": file.layout._free_slots,
+                "dummy_slots": list(file.dummy_slots),
+                "ledgers": [_encode_ledger(ledger)
+                            for ledger in file.subsamples],
+            }
+            for file in gf.files
+        ]
+    else:
+        state["free_slots"] = gf._layout._free_slots
+        state["ledgers"] = [_encode_ledger(ledger)
+                            for ledger in gf.subsamples]
+    if isinstance(gf, BiasedSamplingMixin):
+        state["total_weight"] = gf.total_weight
+        state["multipliers"] = {str(k): v
+                                for k, v in gf.multipliers.items()}
+        state["overflow_events"] = gf.overflow_events
+    json.dump(state, sink)
+
+
+def load_geometric_file(source: IO[str], device: BlockDevice,
+                        weight_fn=None) -> GeometricFile:
+    """Reconstruct a geometric file from :func:`save_geometric_file` output.
+
+    Args:
+        source: text file-like object with the JSON state.
+        device: a (fresh or original) backing device, at least as large
+            as the original one.
+        weight_fn: required when restoring a biased file -- functions
+            cannot be serialised, so the caller re-supplies ``f``.
+
+    Returns:
+        A file whose subsequent behaviour is identical to the saved one.
+    """
+    state = json.load(source)
+    if state.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported checkpoint version "
+                         f"{state.get('version')!r}")
+    kind = state["kind"]
+    if kind in ("BiasedGeometricFile", "BiasedMultipleGeometricFiles"):
+        if weight_fn is None:
+            raise ValueError("restoring a biased file requires weight_fn")
+        if kind == "BiasedGeometricFile":
+            config = GeometricFileConfig(**state["config"])
+            gf: GeometricFile | MultipleGeometricFiles = \
+                BiasedGeometricFile(device, config, weight_fn, seed=0)
+        else:
+            multi_config = MultiFileConfig(**state["config"])
+            gf = BiasedMultipleGeometricFiles(device, multi_config,
+                                              weight_fn, seed=0)
+        gf.total_weight = state["total_weight"]
+        gf.multipliers = {int(k): v
+                          for k, v in state["multipliers"].items()}
+        gf.overflow_events = state["overflow_events"]
+    elif kind == "GeometricFile":
+        config = GeometricFileConfig(**state["config"])
+        gf = GeometricFile(device, config, seed=0)
+    elif kind == "MultipleGeometricFiles":
+        config = MultiFileConfig(**state["config"])
+        gf = MultipleGeometricFiles(device, config, seed=0)
+    else:
+        raise ValueError(f"unknown checkpoint kind {kind!r}")
+
+    gf.seen = state["seen"]
+    gf.samples_added = state["samples_added"]
+    gf.flushes = state["flushes"]
+    gf.stack_overflows = state["stack_overflows"]
+    gf._startup_index = state["startup_index"]
+    gf._next_ident = state["next_ident"]
+    if isinstance(gf, MultipleGeometricFiles):
+        for file, file_state in zip(gf.files, state["files"]):
+            file.layout._free_slots = [list(s)
+                                       for s in file_state["free_slots"]]
+            file.dummy_slots = list(file_state["dummy_slots"])
+            file.subsamples = [_decode_ledger(s)
+                               for s in file_state["ledgers"]]
+    else:
+        gf._layout._free_slots = [list(s) for s in state["free_slots"]]
+        gf.subsamples = [_decode_ledger(s) for s in state["ledgers"]]
+    if state["buffer_records"] is not None:
+        for index, fields in enumerate(state["buffer_records"]):
+            weight = None
+            if state["buffer_weights"] is not None:
+                weight = state["buffer_weights"][index]
+            gf.buffer.append(_decode_record(fields), weight=weight)
+    else:
+        gf.buffer.append_count(state["buffer_count"])
+    gf._rng.setstate(_decode_py_rng(state["rng_state"]))
+    gf._np_rng.bit_generator.state = state["np_rng_state"]
+    return gf
+
+
+def _encode_py_rng(state: tuple) -> list:
+    """random.Random state is nested tuples; JSON wants lists."""
+    version, internal, gauss_next = state
+    return [version, list(internal), gauss_next]
+
+
+def _decode_py_rng(state: list) -> tuple:
+    version, internal, gauss_next = state
+    return (version, tuple(internal), gauss_next)

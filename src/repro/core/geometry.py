@@ -1,0 +1,232 @@
+"""Geometric-series arithmetic for the geometric file.
+
+This module is Sections 4.2 and 5 of the paper as code: the three
+observations about geometric series, Lemma 1 (which ties the decay rate
+``alpha`` to the reservoir-to-buffer ratio), and the integer segment
+ladders the file layouts are built from.
+
+Numbers cross-checked against the paper's own worked examples
+(Section 5.1): with a buffer of 10^7 records, ``alpha = 0.99`` and
+``beta = 320`` the ladder has 1029 on-disk segments; ``alpha = 0.999``
+gives 10344; growing ``beta`` to 10^4 records shrinks it only to 687.
+The benchmark ``benchmarks/test_section5_parameters.py`` regenerates all
+three.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def geometric_sum(n: float, alpha: float, m: int) -> float:
+    """Observation 1: ``sum_{i=0}^{m} n * alpha**i``.
+
+    The amount of water removed from the bathtub after ``m + 1``
+    scoops, in the paper's analogy.
+    """
+    _check_alpha(alpha)
+    if m < 0:
+        raise ValueError("m must be non-negative")
+    return n * (1.0 - alpha ** (m + 1)) / (1.0 - alpha)
+
+
+def geometric_total(n: float, alpha: float) -> float:
+    """Observation 2: ``sum_{i=0}^{inf} n * alpha**i = n / (1 - alpha)``."""
+    _check_alpha(alpha)
+    return n / (1.0 - alpha)
+
+
+def geometric_tail_start(n: float, alpha: float, beta: float) -> int:
+    """Observation 3: the largest ``j`` whose tail still holds ``beta``.
+
+    ``f(j) = sum_{i=j}^{inf} n * alpha**i = n * alpha**j / (1-alpha)``
+    is the mass remaining after ``j`` removals.  The largest ``j`` with
+    ``f(j) >= beta`` is ``floor(log(beta*(1-alpha)/n) / log(alpha))``;
+    equivalently, with a subsample of initial size
+    ``B = n / (1-alpha)``, the number of *on-disk* segments is
+    ``ceil(log(beta/B) / log(alpha))`` -- the form Section 5.1's worked
+    examples use, see :func:`segments_on_disk`.
+    """
+    _check_alpha(alpha)
+    if n <= 0 or beta <= 0:
+        raise ValueError("n and beta must be positive")
+    total = geometric_total(n, alpha)
+    if beta >= total:
+        return 0
+    return math.floor(math.log(beta * (1.0 - alpha) / n) / math.log(alpha))
+
+
+def segments_on_disk(buffer_records: int, alpha: float,
+                     beta_records: int) -> int:
+    """On-disk segments per subsample (Section 5.1's segment count).
+
+    A subsample of ``buffer_records`` records keeps a group of total
+    size at least ``beta_records`` in memory; the rest is split into
+    segments ``n, n*alpha, ...`` with ``n = buffer_records*(1-alpha)``.
+    The mass remaining after ``j`` segments is
+    ``buffer_records * alpha**j``; Observation 3 keeps segments on disk
+    while that mass still exceeds ``beta``, i.e. the largest ``j`` with
+    ``alpha**j >= beta/B``: ``floor(log(beta/B) / log(alpha))``.
+
+    Reproduces the paper's 1029 / 10344 / 687 examples exactly.
+    """
+    if buffer_records < 1:
+        raise ValueError("buffer must hold at least one record")
+    _check_alpha(alpha)
+    if beta_records < 1:
+        raise ValueError("beta must be at least one record")
+    if beta_records >= buffer_records:
+        return 0
+    ratio = beta_records / buffer_records
+    j = math.floor(math.log(ratio) / math.log(alpha))
+    return max(0, j)
+
+
+def alpha_for(reservoir_records: int, buffer_records: int) -> float:
+    """Lemma 1: the decay rate a single geometric file *must* use.
+
+    "The size of a geometric file is |R|": the subsample sizes
+    ``B, B*alpha, B*alpha**2, ...`` only sum to the reservoir size when
+    ``B / (1 - alpha) = |R|``, i.e. ``alpha = 1 - B/|R|``.  Section 6's
+    multi-file construction exists precisely to escape this constraint.
+    """
+    if buffer_records < 1:
+        raise ValueError("buffer must hold at least one record")
+    if reservoir_records <= buffer_records:
+        raise ValueError(
+            "reservoir must exceed the buffer (otherwise plain in-memory "
+            "reservoir sampling applies)"
+        )
+    return 1.0 - buffer_records / reservoir_records
+
+
+def file_count_for(alpha: float, alpha_prime: float) -> int:
+    """Section 6: number of geometric files ``m = (1-alpha')/(1-alpha)``.
+
+    ``alpha`` is the Lemma 1 rate fixed by ``|R|/B``; ``alpha_prime`` is
+    the faster decay the user picks.  Rounded to the nearest integer,
+    minimum one file.
+    """
+    _check_alpha(alpha)
+    _check_alpha(alpha_prime)
+    if alpha_prime > alpha:
+        raise ValueError("alpha_prime must not exceed alpha")
+    return max(1, round((1.0 - alpha_prime) / (1.0 - alpha)))
+
+
+def effective_alpha(reservoir_records: int, buffer_records: int,
+                    n_files: int) -> float:
+    """The per-file decay rate implied by striping over ``n_files`` files.
+
+    Inverse of :func:`file_count_for`:
+    ``alpha' = 1 - m * (1 - alpha) = 1 - m * B / |R|``.
+    """
+    if n_files < 1:
+        raise ValueError("need at least one file")
+    alpha = alpha_for(reservoir_records, buffer_records)
+    alpha_prime = 1.0 - n_files * (1.0 - alpha)
+    if alpha_prime <= 0:
+        raise ValueError(
+            f"{n_files} files over-stripe this reservoir/buffer ratio "
+            f"(alpha' would be {alpha_prime:.4f})"
+        )
+    return alpha_prime
+
+
+@dataclass(frozen=True)
+class SegmentLadder:
+    """The integer partition of one subsample into segments plus tail.
+
+    Attributes:
+        alpha: decay rate used to size the rungs.
+        segment_sizes: on-disk rung sizes in records, largest first
+            (``~ n, n*alpha, n*alpha**2, ...``); rounding is cumulative
+            so the sizes sum *exactly* to ``total - tail_size``.
+        tail_size: records of the in-memory group (about ``beta``).
+    """
+
+    alpha: float
+    segment_sizes: tuple[int, ...]
+    tail_size: int
+
+    @property
+    def total(self) -> int:
+        """Records in one freshly created subsample."""
+        return sum(self.segment_sizes) + self.tail_size
+
+    @property
+    def n_disk_segments(self) -> int:
+        return len(self.segment_sizes)
+
+    def size_below(self, level: int) -> int:
+        """Records a subsample retains once rungs ``0..level-1`` are gone."""
+        if level < 0:
+            raise ValueError("level must be non-negative")
+        return sum(self.segment_sizes[level:]) + self.tail_size
+
+
+def build_ladder(buffer_records: int, alpha: float,
+                 beta_records: int) -> SegmentLadder:
+    """Partition a subsample of ``buffer_records`` into a segment ladder.
+
+    Rung ``i`` ideally holds ``n * alpha**i`` records with
+    ``n = buffer_records * (1 - alpha)``; integer sizes come from
+    rounding the *cumulative* series so no records are lost.  Rungs that
+    round to zero are dropped (their mass lands in the tail), which only
+    happens at toy scales.
+
+    Raises:
+        ValueError: on non-positive sizes or alpha outside (0, 1).
+    """
+    j = segments_on_disk(buffer_records, alpha, beta_records)
+    cumulative = 0
+    sizes: list[int] = []
+    for i in range(j):
+        ideal_cumulative = buffer_records * (1.0 - alpha ** (i + 1))
+        c = round(ideal_cumulative)
+        size = c - cumulative
+        if size <= 0:
+            break
+        sizes.append(size)
+        cumulative = c
+    tail = buffer_records - cumulative
+    return SegmentLadder(alpha=alpha, segment_sizes=tuple(sizes),
+                         tail_size=tail)
+
+
+def startup_fill_sizes(reservoir_records: int, buffer_records: int,
+                       alpha: float) -> list[int]:
+    """Figure 3's start-up schedule: how full the buffer gets per flush.
+
+    The first initial subsample uses the whole buffer, the second
+    ``alpha`` of it, the third ``alpha**2``, ... until the reservoir is
+    full.  Integer sizes again come from cumulative rounding, so they
+    sum to exactly ``reservoir_records``; the (tiny) final flush is
+    clipped.
+    """
+    if reservoir_records < buffer_records:
+        raise ValueError("reservoir smaller than one buffer-full")
+    _check_alpha(alpha)
+    sizes: list[int] = []
+    cumulative = 0
+    k = 0
+    while cumulative < reservoir_records:
+        ideal_cumulative = buffer_records * (1.0 - alpha ** (k + 1)) / (1.0 - alpha)
+        c = min(reservoir_records, round(ideal_cumulative))
+        size = c - cumulative
+        if size <= 0:
+            # Rounding stalled (sub-record ideal fills); fall back to
+            # one record per flush -- a fill can never exceed the
+            # buffer, and the schedule must still reach the reservoir.
+            size = 1
+            c = cumulative + 1
+        sizes.append(size)
+        cumulative = c
+        k += 1
+    return sizes
+
+
+def _check_alpha(alpha: float) -> None:
+    if not 0.0 < alpha < 1.0:
+        raise ValueError(f"alpha must be in (0, 1); got {alpha!r}")

@@ -1,0 +1,147 @@
+"""A managed, durable sample: structure + periodic checkpoints.
+
+The paper's premise is a sample that outlives any single process -- the
+durable synopsis of an unbounded stream.  :class:`ManagedSample` is the
+deployment glue a downstream user actually wants: it owns a geometric
+structure, checkpoints its logical state to a file every
+``checkpoint_every`` flushes (atomically, via rename), and reopens from
+the latest checkpoint on restart.
+
+Durability semantics: a crash loses at most the records admitted since
+the last checkpoint -- the stream positions covered by the restored
+state resume exactly (bit-identical continuation is a tested property
+of :mod:`repro.core.checkpoint`), so the reservoir remains a true
+sample of the records it has *seen*; the gap is simply unseen stream,
+the same as any downtime.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import Callable
+
+from ..sampling.weights import WeightFunction
+from ..storage.device import BlockDevice
+from ..storage.records import Record
+from .biased_file import BiasedGeometricFile, BiasedMultipleGeometricFiles
+from .checkpoint import load_geometric_file, save_geometric_file
+from .geometric_file import GeometricFile, GeometricFileConfig
+from .multi import MultiFileConfig, MultipleGeometricFiles
+
+_KINDS = {
+    "geometric": (GeometricFile, GeometricFileConfig),
+    "multi": (MultipleGeometricFiles, MultiFileConfig),
+    "biased": (BiasedGeometricFile, GeometricFileConfig),
+    "biased-multi": (BiasedMultipleGeometricFiles, MultiFileConfig),
+}
+
+
+class ManagedSample:
+    """A checkpointed sampling structure bound to a state file.
+
+    Args:
+        checkpoint_path: where the JSON state lives.  If the file
+            exists, the structure is restored from it; otherwise a
+            fresh one is created from ``config``.
+        device_factory: builds the backing block device (called on both
+            create and restore; the devices carry no authoritative
+            state -- the checkpoint is the source of truth).
+        config: structure sizing (must satisfy the chosen kind).
+        kind: "geometric", "multi", "biased", or "biased-multi".
+        weight_fn: required for the biased kinds.
+        checkpoint_every: flushes between automatic checkpoints; 0
+            disables automatic checkpointing (manual only).
+        seed: seed for a freshly created structure (ignored on restore).
+    """
+
+    def __init__(
+        self,
+        checkpoint_path: str | os.PathLike[str],
+        device_factory: Callable[[], BlockDevice],
+        config: GeometricFileConfig | MultiFileConfig,
+        *,
+        kind: str = "geometric",
+        weight_fn: WeightFunction | None = None,
+        checkpoint_every: int = 100,
+        seed: int | None = 0,
+    ) -> None:
+        if kind not in _KINDS:
+            raise ValueError(
+                f"unknown kind {kind!r}; expected one of {sorted(_KINDS)}"
+            )
+        if checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be non-negative")
+        if kind.startswith("biased") and weight_fn is None:
+            raise ValueError(f"kind {kind!r} requires weight_fn")
+        cls, config_cls = _KINDS[kind]
+        if not isinstance(config, config_cls):
+            raise ValueError(
+                f"kind {kind!r} needs a {config_cls.__name__}"
+            )
+        self.path = os.fspath(checkpoint_path)
+        self.checkpoint_every = checkpoint_every
+        self._weight_fn = weight_fn
+        self.restored = os.path.exists(self.path)
+        if self.restored:
+            with open(self.path, "r", encoding="ascii") as source:
+                self.sample = load_geometric_file(
+                    source, device_factory(), weight_fn=weight_fn
+                )
+            if not isinstance(self.sample, cls):
+                raise ValueError(
+                    f"checkpoint holds a {type(self.sample).__name__}, "
+                    f"not the requested {cls.__name__}"
+                )
+        elif weight_fn is not None:
+            self.sample = cls(device_factory(), config, weight_fn,
+                              seed=seed)
+        else:
+            self.sample = cls(device_factory(), config, seed=seed)
+        self._checkpointed_flushes = self.sample.flushes
+
+    # -- stream interface ---------------------------------------------------
+
+    def offer(self, record: Record) -> None:
+        """Present one stream record; checkpoints on schedule."""
+        self.sample.offer(record)
+        self._maybe_checkpoint()
+
+    def ingest(self, n: int) -> None:
+        """Count-only ingestion (unbiased kinds only)."""
+        self.sample.ingest(n)
+        self._maybe_checkpoint()
+
+    # -- durability -----------------------------------------------------------
+
+    @property
+    def flushes_since_checkpoint(self) -> int:
+        return self.sample.flushes - self._checkpointed_flushes
+
+    def checkpoint(self) -> None:
+        """Write the current state atomically (write + rename)."""
+        directory = os.path.dirname(self.path) or "."
+        descriptor, temp_path = tempfile.mkstemp(
+            dir=directory, prefix=".checkpoint-", suffix=".json"
+        )
+        try:
+            with os.fdopen(descriptor, "w", encoding="ascii") as sink:
+                save_geometric_file(self.sample, sink)
+            os.replace(temp_path, self.path)
+        except BaseException:
+            if os.path.exists(temp_path):
+                os.unlink(temp_path)
+            raise
+        self._checkpointed_flushes = self.sample.flushes
+
+    def _maybe_checkpoint(self) -> None:
+        if (self.checkpoint_every
+                and self.flushes_since_checkpoint >= self.checkpoint_every):
+            self.checkpoint()
+
+    # -- conveniences -----------------------------------------------------------
+
+    def __getattr__(self, name: str):
+        # Delegate observers (sample(), seen, disk_size, items(), ...)
+        # to the underlying structure.
+        return getattr(self.sample, name)

@@ -1,0 +1,354 @@
+"""Multiple geometric files (paper Section 6).
+
+Lemma 1 chains a single geometric file's decay rate to
+``alpha = 1 - B/N``; for a terabyte reservoir and a gigabyte buffer
+that is 0.999, which means ~10,000 segments -- and seeks -- per flush.
+Section 6's escape: pick a *smaller* ``alpha' < alpha`` and stripe
+``m = (1-alpha')/(1-alpha)`` geometric files, each with the coarser
+``alpha'`` segment ladder ("consolidated segments").  A new subsample
+is written, round-robin, entirely into *one* file per flush, so the
+per-flush seek bill shrinks by roughly a factor of ``m``.
+
+The timing wrinkle the paper's *dummy* solves: a subsample's records
+are logically evicted at *every* flush (its share of Algorithm 3's
+victims), but it physically surrenders a consolidated segment only when
+its own file's turn comes -- once every ``m`` flushes -- and that
+segment is ``m`` flushes' worth of decay at once.  Each file therefore
+pre-allocates one complete subsample's worth of empty slots (the
+dummy): the incoming subsample lands in the dummy's slots, and each
+existing subsample then donates its largest segment to *reconstitute*
+the dummy, protecting the donated data until the file's next turn.
+Stack adjustments for subsamples in the other ``m - 1`` files are
+deferred until their file is processed ("they can be updated lazily",
+Section 6), which the ledgers' reconciliation API models directly.
+
+Extra storage: one dummy subsample (``B`` records) per file, i.e.
+``m * B = (1 - alpha') * N`` overall -- the paper's "1 TB reservoir
+... alpha' = 0.9 by using only 1.1 TB of disk storage in total".
+
+Sampling correctness is untouched: Algorithm 3's victim draw still
+spans every subsample in every file, so the reservoir remains an exact
+uniform sample; only the physical layout changed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..reservoir import StreamReservoir, draw_victim_counts
+from ..storage.device import BlockDevice, SimulatedBlockDevice
+from ..storage.records import Record, RecordSchema
+from .buffer import SampleBuffer
+from .geometric_file import FileLayout, GeometricFileConfig
+from .geometry import alpha_for, build_ladder, file_count_for, startup_fill_sizes
+from .subsample import SubsampleLedger
+
+
+@dataclass(frozen=True)
+class MultiFileConfig(GeometricFileConfig):
+    """Sizing for the multi-file variant.
+
+    Adds ``alpha_prime``, the user-chosen per-file decay rate
+    (Section 6; the paper's benchmarks use 0.9).  Everything else is
+    inherited from :class:`GeometricFileConfig`.
+    """
+
+    alpha_prime: float = 0.9
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 < self.alpha_prime < 1.0:
+            raise ValueError("alpha_prime must be in (0, 1)")
+
+
+class _SubFile:
+    """One of the ``m`` striped geometric files: layout plus its ledgers."""
+
+    def __init__(self, index: int, layout: FileLayout,
+                 n_levels: int) -> None:
+        self.index = index
+        self.layout = layout
+        self.subsamples: list[SubsampleLedger] = []
+        # The dummy's slot at each ladder level; reserved up front.
+        self.dummy_slots: list[int] = [
+            layout.take_slot(level) for level in range(n_levels)
+        ]
+
+
+class MultipleGeometricFiles(StreamReservoir):
+    """``m`` round-robin geometric files sharing one reservoir.
+
+    Args:
+        device: backing store (one simulated spindle holds all files;
+            their extents are laid out back to back).
+        config: sizing; ``m`` derives from ``alpha`` (Lemma 1) and
+            ``config.alpha_prime`` via ``m = (1-alpha')/(1-alpha)``.
+        seed: RNG seed.
+    """
+
+    name = "multiple geo files"
+
+    def __init__(self, device: BlockDevice, config: MultiFileConfig,
+                 *, seed: int | None = 0) -> None:
+        super().__init__(config.capacity, admission=config.admission,
+                         seed=seed)
+        self.device = device
+        self.config = config
+        self.schema = RecordSchema(config.record_size)
+        self.alpha = alpha_for(config.capacity, config.buffer_capacity)
+        self.n_files = file_count_for(self.alpha, config.alpha_prime)
+        #: The decay rate actually realised by the integer file count.
+        self.alpha_prime = 1.0 - self.n_files * (1.0 - self.alpha)
+        self.beta = config.resolve_beta(device.block_size)
+        self.ladder = build_ladder(config.buffer_capacity, self.alpha_prime,
+                                   self.beta)
+        self._records_per_block = self.schema.records_per_block(
+            device.block_size
+        )
+        self.files = self._build_files(device)
+        self.buffer = SampleBuffer(config.buffer_capacity, self._rng,
+                                   retain_records=config.retain_records)
+        self._startup_sizes = startup_fill_sizes(
+            config.capacity, config.buffer_capacity, self.alpha
+        )
+        self._startup_index = 0
+        self._next_ident = 0
+        self.flushes = 0
+        self.stack_overflows = 0
+        self.chunk_floor = config.buffer_capacity
+
+    def _build_files(self, device: BlockDevice) -> list[_SubFile]:
+        per_file = FileLayout.blocks_needed(
+            device.block_size, self.ladder, self.schema,
+            stack_records=self.config.stack_records(),
+            n_stack_regions=self.ladder.n_disk_segments + 2,
+            dummy=True,
+        )
+        if device.n_blocks < per_file * self.n_files:
+            raise ValueError(
+                f"device of {device.n_blocks} blocks too small; need "
+                f"{per_file * self.n_files} for {self.n_files} files"
+            )
+        files = []
+        for f in range(self.n_files):
+            layout = FileLayout.build(
+                device, self.ladder, self.schema,
+                stack_records=self.config.stack_records(),
+                n_stack_regions=self.ladder.n_disk_segments + 2,
+                first_block=f * per_file,
+                n_blocks=per_file,
+                dummy=True,
+            )
+            files.append(_SubFile(f, layout, self.ladder.n_disk_segments))
+        return files
+
+    # -- observers ----------------------------------------------------------
+
+    @classmethod
+    def required_blocks(cls, config: MultiFileConfig,
+                        block_size: int) -> int:
+        """Device size needed for this configuration."""
+        alpha = alpha_for(config.capacity, config.buffer_capacity)
+        n_files = file_count_for(alpha, config.alpha_prime)
+        alpha_prime = 1.0 - n_files * (1.0 - alpha)
+        beta = config.resolve_beta(block_size)
+        ladder = build_ladder(config.buffer_capacity, alpha_prime, beta)
+        schema = RecordSchema(config.record_size)
+        per_file = FileLayout.blocks_needed(
+            block_size, ladder, schema,
+            stack_records=config.stack_records(),
+            n_stack_regions=ladder.n_disk_segments + 2,
+            dummy=True,
+        )
+        return per_file * n_files
+
+    @property
+    def clock(self) -> float:
+        # Duck-typed: any cost-modelled device (simulated, striped)
+        # exposes a simulated clock; byte-only backends do not.
+        return getattr(self.device, "clock", 0.0)
+
+    @property
+    def in_startup(self) -> bool:
+        return self._startup_index < len(self._startup_sizes)
+
+    @property
+    def disk_size(self) -> int:
+        return sum(ledger.live
+                   for file in self.files
+                   for ledger in file.subsamples)
+
+    @property
+    def n_subsamples(self) -> int:
+        return sum(len(file.subsamples) for file in self.files)
+
+    def _all_ledgers(self):
+        for file in self.files:
+            yield from file.subsamples
+
+    def sample(self) -> list[Record]:
+        """Current reservoir contents; see
+        :meth:`~repro.core.geometric_file.GeometricFile.sample`."""
+        if not self.config.retain_records:
+            raise TypeError("files are running in count-only mode")
+        combined: list[Record] = []
+        for ledger in self._all_ledgers():
+            combined.extend(ledger.records or ())
+        pending = list(self.buffer)
+        if self.in_startup:
+            return combined + pending
+        return self.apply_pending(combined, pending, self._rng)
+
+    def check_invariants(self) -> None:
+        """Assert every ledger's conservation law and the global size."""
+        for ledger in self._all_ledgers():
+            ledger.check_invariant()
+        if not self.in_startup and self.disk_size != self.capacity:
+            raise AssertionError(
+                f"disk holds {self.disk_size}, expected {self.capacity}"
+            )
+
+    # -- StreamReservoir hooks ------------------------------------------------
+
+    def _admit(self, record: Record | None) -> None:
+        if self.in_startup:
+            self.buffer.append(record)
+            if self.buffer.count >= self._startup_sizes[self._startup_index]:
+                self._startup_flush()
+            return
+        self.buffer.add_admitted(record, self.capacity)
+        if self.buffer.is_full:
+            self._flush()
+
+    def _admit_count(self, n: int) -> None:
+        # Same count-only simplification as the single file: in-buffer
+        # replacements are folded into joins (see GeometricFile).
+        while n > 0:
+            if self.in_startup:
+                target = self._startup_sizes[self._startup_index]
+            else:
+                target = self.buffer.capacity
+            take = min(n, target - self.buffer.count)
+            self.buffer.append_count(take)
+            n -= take
+            if self.buffer.count >= target:
+                if self.in_startup:
+                    self._startup_flush()
+                else:
+                    self._flush()
+
+    # -- flush machinery --------------------------------------------------------
+
+    def _startup_flush(self) -> None:
+        """Initial fill, striped round-robin (Figure 3 adapted to m files)."""
+        c = self._startup_index
+        file = self.files[c % self.n_files]
+        level = c // self.n_files
+        records, weights, count = self.buffer.drain()
+        sizes = list(self.ladder.segment_sizes[level:])
+        while sizes and sum(sizes) > count:
+            sizes.pop()
+        tail = count - sum(sizes)
+        ledger = self._new_ledger(sizes, level, tail, records)
+        ledger.weights = weights
+        file.subsamples.insert(0, ledger)
+        for offset in range(len(sizes)):
+            ledger.push_slot(file.layout.take_slot(level + offset))
+        # One contiguous write per initial subsample (see
+        # FileLayout.append_startup).
+        file.layout.append_startup(self._blocks_for(count - tail))
+        self._startup_index += 1
+        self.flushes += 1
+
+    def _flush(self) -> None:
+        """Steady-state flush into the round-robin target file."""
+        records, weights, count = self.buffer.drain()
+        self._evict_victims(count)
+        file = self.files[self.flushes % self.n_files]
+        # New subsample lands in the dummy's slots (Figure 6 b).
+        ledger = self._new_ledger(
+            list(self.ladder.segment_sizes), 0, self.ladder.tail_size,
+            records,
+        )
+        ledger.weights = weights
+        file.subsamples.insert(0, ledger)
+        for level, size in enumerate(self.ladder.segment_sizes):
+            slot = file.dummy_slots[level]
+            ledger.push_slot(slot)
+            self._write_slot(file, level, slot, size)
+        # Existing subsamples donate their largest segment back to the
+        # dummy (Figure 6 c) and settle their stacks, lazily accumulated
+        # over the last m flushes.
+        new_dummy: dict[int, int] = {}
+        for sub in file.subsamples:
+            if sub is ledger or not sub.has_disk_segments:
+                continue
+            level = sub.current_level
+            slot = sub.pop_slot()
+            sub.release_segment()
+            if slot is not None:
+                new_dummy[level] = slot
+            self._reconcile_stack(file, sub)
+            if not sub.has_disk_segments:
+                self._retire_stack(file, sub)
+        file.dummy_slots = [
+            new_dummy[level] if level in new_dummy
+            else file.layout.take_slot(level)
+            for level in range(self.ladder.n_disk_segments)
+        ]
+        # Dead (fully-decayed) subsamples in the written file are
+        # dropped now; ones in other files wait for their file's turn
+        # -- a zero-live ledger draws zero victims, so keeping it an
+        # extra rotation is free and avoids an all-files sweep per
+        # flush.
+        file.subsamples = [s for s in file.subsamples if not s.is_dead]
+        self.flushes += 1
+
+    def _new_ledger(self, sizes: list[int], first_level: int, tail: int,
+                    records: list[Record] | None) -> SubsampleLedger:
+        ledger = SubsampleLedger(
+            self._next_ident, sizes, first_level, tail, records,
+            stack_capacity=self.config.stack_records(),
+        )
+        n_regions = self.ladder.n_disk_segments + 2
+        ledger.stack_region = (self._next_ident // self.n_files) % n_regions
+        self._next_ident += 1
+        return ledger
+
+    def _evict_victims(self, count: int) -> None:
+        """Algorithm 3 across every subsample of every file."""
+        ledgers = list(self._all_ledgers())
+        lives = [ledger.live for ledger in ledgers]
+        counts = draw_victim_counts(self._np_rng, lives, count)
+        for ledger, k in zip(ledgers, counts):
+            if k:
+                ledger.evict(k)
+
+    def _reconcile_stack(self, file: _SubFile,
+                         ledger: SubsampleLedger) -> None:
+        event = ledger.reconcile_stack()
+        if ledger.overflowed:
+            self.stack_overflows += 1
+            ledger.overflowed = False
+        if not event.touched:
+            return
+        blocks = max(1, self._blocks_for(event.pushed))
+        file.layout.write_stack(ledger.stack_region, blocks)
+
+    def _retire_stack(self, file: _SubFile,
+                      ledger: SubsampleLedger) -> None:
+        folded = ledger.fold_stack_into_tail()
+        if folded > 0:
+            file.layout.read_stack(ledger.stack_region,
+                                   self._blocks_for(folded))
+
+    def _blocks_for(self, n_records: int) -> int:
+        if n_records <= 0:
+            return 0
+        return -(-n_records // self._records_per_block)
+
+    def _write_slot(self, file: _SubFile, level: int, slot: int,
+                    size: int) -> None:
+        file.layout.write_slot(level, slot, self._blocks_for(size))
+        for _ in range(self.config.extra_seeks_per_segment):
+            file.layout.charge_seek()

@@ -1,0 +1,59 @@
+"""Statistics over samples: the Section 2 sample-size machinery, tail
+bounds, and estimators (including Horvitz-Thompson over biased
+samples)."""
+
+from .aqp import GroupResult, SampleQuery, relative_error
+from .bounds import (
+    chebyshev_bound,
+    chebyshev_sample_size,
+    chernoff_bound_binomial,
+    chernoff_sample_size_binomial,
+    hoeffding_bound,
+    hoeffding_sample_size,
+)
+from .clt import (
+    ConfidenceInterval,
+    achieved_confidence,
+    mean_confidence_interval,
+    normal_cdf,
+    normal_quantile,
+    required_sample_size,
+)
+from .online import OnlineAggregator, RippleJoin, online_avg
+from .estimators import (
+    Estimate,
+    estimate_avg,
+    estimate_count,
+    estimate_mean,
+    estimate_sum,
+    horvitz_thompson_count,
+    horvitz_thompson_sum,
+)
+
+__all__ = [
+    "ConfidenceInterval",
+    "Estimate",
+    "GroupResult",
+    "OnlineAggregator",
+    "RippleJoin",
+    "SampleQuery",
+    "achieved_confidence",
+    "chebyshev_bound",
+    "chebyshev_sample_size",
+    "chernoff_bound_binomial",
+    "chernoff_sample_size_binomial",
+    "estimate_avg",
+    "estimate_count",
+    "estimate_mean",
+    "estimate_sum",
+    "hoeffding_bound",
+    "hoeffding_sample_size",
+    "horvitz_thompson_count",
+    "horvitz_thompson_sum",
+    "mean_confidence_interval",
+    "normal_cdf",
+    "normal_quantile",
+    "online_avg",
+    "relative_error",
+    "required_sample_size",
+]

@@ -1,0 +1,151 @@
+"""A small approximate-query layer over any maintained sample.
+
+The paper motivates the geometric file with approximate query
+processing: decision support, online aggregation, ripple joins -- all
+"potential users of a large sample maintained as a geometric file"
+(Section 9).  :class:`SampleQuery` is a deliberately small slice of
+that: filter / group-by / aggregate over a materialised sample, every
+answer carrying a CLT confidence interval, so the examples can show the
+end-to-end loop (stream -> geometric file -> query with error bars)
+and the Section 2 story (error shrinking as 1/sqrt(sample size)) can
+be demonstrated quantitatively.
+
+This is intentionally an estimator layer, not a SQL engine; it consumes
+``list[Record]`` from any of the library's samplers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Hashable, Sequence
+
+from ..storage.records import Record
+from .clt import ConfidenceInterval
+from .estimators import Estimate, estimate_mean, estimate_sum
+
+
+@dataclass(frozen=True)
+class GroupResult:
+    """One group's aggregate estimate."""
+
+    key: Hashable
+    n_sampled: int
+    estimate: Estimate
+
+    def interval(self, confidence: float = 0.95) -> ConfidenceInterval:
+        return self.estimate.interval(confidence)
+
+
+class SampleQuery:
+    """Aggregate queries over a uniform sample.
+
+    Args:
+        sample: the sampled records.
+        population_size: number of records the sample represents (the
+            stream position for an unbiased reservoir); required for
+            SUM/COUNT scale-up, not for AVG.
+    """
+
+    def __init__(self, sample: Sequence[Record],
+                 population_size: int | None = None) -> None:
+        self._sample = list(sample)
+        if population_size is not None and population_size < len(sample):
+            raise ValueError("population smaller than the sample")
+        self._population = population_size
+
+    def __len__(self) -> int:
+        return len(self._sample)
+
+    def filter(self, predicate: Callable[[Record], bool]) -> "SampleQuery":
+        """A relational selection.
+
+        Note the Section 2 effect: filtering shrinks the effective
+        sample, inflating every downstream error bar -- the reason
+        selective queries need very large base samples.
+        """
+        return SampleQuery([r for r in self._sample if predicate(r)],
+                           self._population)
+
+    def avg(self, value: Callable[[Record], float] | None = None) -> Estimate:
+        """Mean of ``value`` over the population the sample represents."""
+        value = value or (lambda r: r.value)
+        return estimate_mean([value(r) for r in self._sample])
+
+    def sum(self, value: Callable[[Record], float] | None = None) -> Estimate:
+        """Population SUM (requires ``population_size``)."""
+        self._need_population()
+        value = value or (lambda r: r.value)
+        return estimate_sum([value(r) for r in self._sample],
+                            self._population)
+
+    def count(self, predicate: Callable[[Record], bool] | None = None
+              ) -> Estimate:
+        """Population COUNT of matching records."""
+        self._need_population()
+        rows = [1.0 if (predicate is None or predicate(r)) else 0.0
+                for r in self._sample]
+        return estimate_sum(rows, self._population)
+
+    def group_by(
+        self,
+        key: Callable[[Record], Hashable],
+        aggregate: str = "avg",
+        value: Callable[[Record], float] | None = None,
+        min_group_size: int = 2,
+    ) -> list[GroupResult]:
+        """Grouped aggregates, one :class:`GroupResult` per group.
+
+        Groups with fewer than ``min_group_size`` sampled records are
+        dropped (their estimates would be meaningless) -- exactly the
+        rare-group problem that motivates biased "congressional"
+        sampling in the literature the paper cites [1].
+
+        Args:
+            key: grouping function.
+            aggregate: "avg", "sum" or "count".
+            value: aggregated expression (defaults to ``record.value``).
+        """
+        if aggregate not in ("avg", "sum", "count"):
+            raise ValueError(f"unknown aggregate {aggregate!r}")
+        if aggregate in ("sum", "count"):
+            self._need_population()
+        value = value or (lambda r: r.value)
+        groups: dict[Hashable, list[Record]] = {}
+        for record in self._sample:
+            groups.setdefault(key(record), []).append(record)
+        results: list[GroupResult] = []
+        for group_key in sorted(groups, key=repr):
+            members = groups[group_key]
+            if len(members) < min_group_size:
+                continue
+            if aggregate == "avg":
+                est = estimate_mean([value(r) for r in members])
+            else:
+                # SUM/COUNT scale-up: the group's share of the population
+                # is itself estimated from the sample, so build the
+                # per-record contribution over the WHOLE sample (zero
+                # outside the group) and scale by the population.
+                in_group = set(id(r) for r in members)
+                if aggregate == "sum":
+                    rows = [value(r) if id(r) in in_group else 0.0
+                            for r in self._sample]
+                else:
+                    rows = [1.0 if id(r) in in_group else 0.0
+                            for r in self._sample]
+                est = estimate_sum(rows, self._population)
+            results.append(GroupResult(group_key, len(members), est))
+        return results
+
+    def _need_population(self) -> None:
+        if self._population is None:
+            raise ValueError(
+                "population_size is required for SUM/COUNT scale-up"
+            )
+
+
+def relative_error(estimate: float, truth: float) -> float:
+    """|estimate - truth| / |truth| (guards the zero-truth case)."""
+    if truth == 0:
+        return math.inf if estimate != 0 else 0.0
+    return abs(estimate - truth) / abs(truth)

@@ -1,0 +1,92 @@
+"""Classical tail bounds for sample-based estimates.
+
+The paper's introduction lists "the central limit theorem, Chernoff,
+Hoeffding and Chebyshev bounds" as the fundamental results that make
+samples trustworthy.  These are the textbook forms, exposed both as
+probability bounds and as inverted sample-size requirements so they can
+be compared against the CLT numbers of :mod:`repro.estimate.clt`
+(the Section 2 benchmark prints all of them side by side).
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def chebyshev_bound(std: float, n: int, epsilon: float) -> float:
+    """P(|sample mean - mean| >= epsilon) <= std^2 / (n * epsilon^2).
+
+    Distribution-free but loose; returns the bound capped at 1.
+    """
+    _check(std=std, n=n, epsilon=epsilon)
+    return min(1.0, std ** 2 / (n * epsilon ** 2))
+
+
+def chebyshev_sample_size(std: float, epsilon: float,
+                          failure_probability: float) -> int:
+    """Samples for P(|error| >= epsilon) <= failure_probability."""
+    _check(std=std, epsilon=epsilon, probability=failure_probability)
+    return max(1, math.ceil(std ** 2 / (failure_probability * epsilon ** 2)))
+
+
+def hoeffding_bound(value_range: float, n: int, epsilon: float) -> float:
+    """Two-sided Hoeffding: P(|mean error| >= eps) <= 2 exp(-2 n eps^2 / r^2).
+
+    Requires values confined to an interval of width ``value_range``.
+    """
+    _check(n=n, epsilon=epsilon)
+    if value_range <= 0:
+        raise ValueError("value_range must be positive")
+    return min(1.0, 2.0 * math.exp(-2.0 * n * epsilon ** 2
+                                   / value_range ** 2))
+
+
+def hoeffding_sample_size(value_range: float, epsilon: float,
+                          failure_probability: float) -> int:
+    """Samples for the two-sided Hoeffding bound to reach the target."""
+    _check(epsilon=epsilon, probability=failure_probability)
+    if value_range <= 0:
+        raise ValueError("value_range must be positive")
+    n = (value_range ** 2 / (2.0 * epsilon ** 2)
+         * math.log(2.0 / failure_probability))
+    return max(1, math.ceil(n))
+
+
+def chernoff_bound_binomial(p: float, n: int, relative_error: float) -> float:
+    """Multiplicative Chernoff for a binomial proportion estimate.
+
+    ``P(|hat p - p| >= relative_error * p)
+    <= 2 exp(-n p relative_error^2 / 3)`` for ``relative_error <= 1`` --
+    the form used for COUNT/selectivity estimates over samples.
+    """
+    _check(n=n)
+    if not 0.0 < p <= 1.0:
+        raise ValueError("p must be in (0, 1]")
+    if not 0.0 < relative_error <= 1.0:
+        raise ValueError("relative_error must be in (0, 1]")
+    return min(1.0, 2.0 * math.exp(-n * p * relative_error ** 2 / 3.0))
+
+
+def chernoff_sample_size_binomial(p: float, relative_error: float,
+                                  failure_probability: float) -> int:
+    """Samples for the multiplicative Chernoff bound to reach the target."""
+    _check(probability=failure_probability)
+    if not 0.0 < p <= 1.0:
+        raise ValueError("p must be in (0, 1]")
+    if not 0.0 < relative_error <= 1.0:
+        raise ValueError("relative_error must be in (0, 1]")
+    n = 3.0 / (p * relative_error ** 2) * math.log(2.0 / failure_probability)
+    return max(1, math.ceil(n))
+
+
+def _check(*, std: float | None = None, n: int | None = None,
+           epsilon: float | None = None,
+           probability: float | None = None) -> None:
+    if std is not None and std < 0:
+        raise ValueError("standard deviation must be non-negative")
+    if n is not None and n < 1:
+        raise ValueError("sample size must be at least 1")
+    if epsilon is not None and epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    if probability is not None and not 0.0 < probability < 1.0:
+        raise ValueError("failure probability must be in (0, 1)")

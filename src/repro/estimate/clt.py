@@ -1,0 +1,162 @@
+"""Sample-size arithmetic via the central limit theorem (paper Section 2).
+
+Section 2 argues that "sometimes a little is not enough": the error of
+a sample mean is ~ Normal(0, sigma^2 / N), so the sample size needed
+for relative error ``eps`` at confidence ``delta`` grows with the
+*square* of the coefficient of variation.  The paper's two worked
+examples:
+
+* student ages (mean 20, sd 2): ~100 samples suffice for 2.5% error at
+  ~98% confidence;
+* U.S. household net worth (mean ~$140,000, sd >= $5,000,000): "a quick
+  calculation shows we will need more than 12 million samples to
+  achieve the same statistical guarantees".
+
+:func:`required_sample_size` is that quick calculation;
+``benchmarks/test_section2_sample_sizes.py`` regenerates both numbers.
+
+The inverse-normal quantile is computed with Acklam's rational
+approximation (relative error < 1.15e-9), so the module needs no scipy
+at runtime; the test suite cross-checks it against scipy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def normal_cdf(x: float) -> float:
+    """Standard normal CDF via the error function."""
+    return 0.5 * (1.0 + math.erf(x / math.sqrt(2.0)))
+
+
+def normal_quantile(p: float) -> float:
+    """Inverse standard normal CDF (Acklam's approximation).
+
+    Raises:
+        ValueError: unless ``0 < p < 1``.
+    """
+    if not 0.0 < p < 1.0:
+        raise ValueError("p must be strictly between 0 and 1")
+    # Coefficients for the central and tail rational approximations.
+    a = (-3.969683028665376e+01, 2.209460984245205e+02,
+         -2.759285104469687e+02, 1.383577518672690e+02,
+         -3.066479806614716e+01, 2.506628277459239e+00)
+    b = (-5.447609879822406e+01, 1.615858368580409e+02,
+         -1.556989798598866e+02, 6.680131188771972e+01,
+         -1.328068155288572e+01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01,
+         -2.400758277161838e+00, -2.549732539343734e+00,
+         4.374664141464968e+00, 2.938163982698783e+00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01,
+         2.445134137142996e+00, 3.754408661907416e+00)
+    p_low = 0.02425
+    if p < p_low:
+        q = math.sqrt(-2.0 * math.log(p))
+        return ((((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4])
+                 * q + c[5])
+                / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0))
+    if p > 1.0 - p_low:
+        q = math.sqrt(-2.0 * math.log(1.0 - p))
+        return -((((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4])
+                  * q + c[5])
+                 / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0))
+    q = p - 0.5
+    r = q * q
+    return ((((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4])
+             * r + a[5]) * q
+            / (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4])
+               * r + 1.0))
+
+
+def required_sample_size(std: float, mean: float, relative_error: float,
+                         confidence: float) -> int:
+    """Samples needed to estimate ``mean`` within ``relative_error``.
+
+    By the CLT the estimator's error is Normal(0, std^2/N); demanding
+    ``P(|err| <= relative_error * |mean|) >= confidence`` gives
+    ``N >= (z * std / (relative_error * mean))**2`` with
+    ``z = Phi^{-1}((1 + confidence) / 2)``.
+
+    Args:
+        std: population standard deviation.
+        mean: population mean (non-zero; relative error is w.r.t. it).
+        relative_error: e.g. 0.025 for the paper's 2.5%.
+        confidence: e.g. 0.98.
+
+    Returns:
+        The minimal integer sample size.
+    """
+    if std < 0:
+        raise ValueError("standard deviation must be non-negative")
+    if mean == 0:
+        raise ValueError("relative error is undefined for a zero mean")
+    if not 0.0 < relative_error:
+        raise ValueError("relative_error must be positive")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    z = normal_quantile((1.0 + confidence) / 2.0)
+    n = (z * std / (relative_error * abs(mean))) ** 2
+    return max(1, math.ceil(n))
+
+
+def achieved_confidence(std: float, mean: float, relative_error: float,
+                        sample_size: int) -> float:
+    """Confidence a given sample size delivers for a target error.
+
+    Inverse of :func:`required_sample_size`: with N samples the error is
+    Normal(0, std^2/N), so
+    ``P(|err| <= eps*|mean|) = 2*Phi(eps*|mean|*sqrt(N)/std) - 1``.
+    """
+    if sample_size < 1:
+        raise ValueError("sample size must be at least 1")
+    if std < 0:
+        raise ValueError("standard deviation must be non-negative")
+    if mean == 0:
+        raise ValueError("relative error is undefined for a zero mean")
+    if std == 0:
+        return 1.0
+    z = relative_error * abs(mean) * math.sqrt(sample_size) / std
+    return 2.0 * normal_cdf(z) - 1.0
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A symmetric CLT confidence interval around a point estimate."""
+
+    estimate: float
+    half_width: float
+    confidence: float
+
+    @property
+    def low(self) -> float:
+        return self.estimate - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.estimate + self.half_width
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+
+def mean_confidence_interval(values, confidence: float = 0.95
+                             ) -> ConfidenceInterval:
+    """CLT interval for the mean of an i.i.d. sample.
+
+    Uses the sample standard deviation; for the small-sample regime a
+    t-interval would be wider, but the library's whole premise is very
+    large samples.
+    """
+    data = list(values)
+    n = len(data)
+    if n < 2:
+        raise ValueError("need at least two values")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    mean = sum(data) / n
+    variance = sum((x - mean) ** 2 for x in data) / (n - 1)
+    z = normal_quantile((1.0 + confidence) / 2.0)
+    half = z * math.sqrt(variance / n)
+    return ConfidenceInterval(mean, half, confidence)

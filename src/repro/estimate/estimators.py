@@ -1,0 +1,153 @@
+"""Estimators over uniform and biased samples.
+
+A sample is only useful through the estimates it feeds (the paper's
+Section 9: "most of these algorithms could be viewed as potential users
+of a large sample maintained as a geometric file").  This module gives
+the standard constructions:
+
+* uniform samples: scaled SUM / COUNT / AVG with CLT error bars;
+* biased samples: Horvitz-Thompson estimators, which divide each
+  sampled value by its inclusion probability
+  ``pi_r = |R| * true_weight(r) / totalWeight`` -- the quantity the
+  Section 7 machinery guarantees is always computable (Lemma 3), so a
+  biased sample "can still be used to produce unbiased estimates that
+  are correct on expectation".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from ..storage.records import Record
+from .clt import ConfidenceInterval, normal_quantile
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """A point estimate with a CLT standard error."""
+
+    value: float
+    standard_error: float
+
+    def interval(self, confidence: float = 0.95) -> ConfidenceInterval:
+        z = normal_quantile((1.0 + confidence) / 2.0)
+        return ConfidenceInterval(self.value, z * self.standard_error,
+                                  confidence)
+
+
+def estimate_mean(sample: Sequence[float]) -> Estimate:
+    """Sample mean with its standard error."""
+    n = len(sample)
+    if n < 2:
+        raise ValueError("need at least two values")
+    mean = sum(sample) / n
+    variance = sum((x - mean) ** 2 for x in sample) / (n - 1)
+    return Estimate(mean, math.sqrt(variance / n))
+
+
+def estimate_sum(sample: Sequence[float], population_size: int) -> Estimate:
+    """Population SUM from a uniform sample of known population size.
+
+    Scales the sample mean by ``population_size``; the without-
+    replacement finite-population correction ``(1 - n/N)`` tightens the
+    error when the sample is a sizeable fraction of the population --
+    which, for the very large samples this library exists for, it
+    often is.
+    """
+    n = len(sample)
+    if n < 2:
+        raise ValueError("need at least two values")
+    if population_size < n:
+        raise ValueError("population cannot be smaller than the sample")
+    mean_est = estimate_mean(sample)
+    fpc = 1.0 - n / population_size
+    return Estimate(
+        population_size * mean_est.value,
+        population_size * mean_est.standard_error * math.sqrt(max(0.0, fpc)),
+    )
+
+
+def estimate_count(sample: Sequence[Record], population_size: int,
+                   predicate: Callable[[Record], bool]) -> Estimate:
+    """Population COUNT of records satisfying ``predicate``."""
+    indicators = [1.0 if predicate(r) else 0.0 for r in sample]
+    return estimate_sum(indicators, population_size)
+
+
+def estimate_avg(sample: Sequence[Record],
+                 predicate: Callable[[Record], bool] | None = None,
+                 value: Callable[[Record], float] | None = None) -> Estimate:
+    """Population AVG of ``value`` over records matching ``predicate``."""
+    value = value or (lambda r: r.value)
+    rows = [value(r) for r in sample
+            if predicate is None or predicate(r)]
+    if len(rows) < 2:
+        raise ValueError("predicate matched fewer than two sampled records")
+    return estimate_mean(rows)
+
+
+# -- Horvitz-Thompson over biased samples ----------------------------------------
+
+
+def horvitz_thompson_sum(
+    items: Iterable[tuple[Record, float]],
+    total_weight: float,
+    sample_capacity: int,
+    value: Callable[[Record], float] | None = None,
+    predicate: Callable[[Record], bool] | None = None,
+) -> Estimate:
+    """Unbiased SUM over the *whole stream* from a biased sample.
+
+    Args:
+        items: ``(record, true_weight)`` pairs, e.g. from
+            :meth:`repro.sampling.BiasedReservoir.items`.
+        total_weight: the sampler's ``totalWeight`` (sum of true weights
+            over every stream record so far).
+        sample_capacity: ``|R|``.
+        value: per-record contribution (defaults to ``record.value``).
+        predicate: optional filter; non-matching records contribute 0.
+
+    Each resident contributes ``value(r) / pi_r`` with
+    ``pi_r = sample_capacity * true_weight / total_weight`` (Lemma 3).
+    The reported standard error uses the with-replacement approximation
+    on the per-record HT contributions, which is the standard practical
+    choice; tests verify unbiasedness empirically.
+    """
+    if total_weight <= 0:
+        raise ValueError("total_weight must be positive")
+    if sample_capacity < 1:
+        raise ValueError("sample_capacity must be at least 1")
+    value = value or (lambda r: r.value)
+    contributions: list[float] = []
+    for record, true_weight in items:
+        if true_weight <= 0:
+            raise ValueError("true weights must be positive")
+        if predicate is not None and not predicate(record):
+            contributions.append(0.0)
+            continue
+        pi = min(1.0, sample_capacity * true_weight / total_weight)
+        contributions.append(value(record) / pi)
+    n = len(contributions)
+    if n == 0:
+        return Estimate(0.0, 0.0)
+    total = sum(contributions)
+    if n < 2:
+        return Estimate(total, abs(total))
+    mean = total / n
+    variance = sum((c - mean) ** 2 for c in contributions) / (n - 1)
+    return Estimate(total, math.sqrt(n * variance))
+
+
+def horvitz_thompson_count(
+    items: Iterable[tuple[Record, float]],
+    total_weight: float,
+    sample_capacity: int,
+    predicate: Callable[[Record], bool],
+) -> Estimate:
+    """Unbiased COUNT over the whole stream from a biased sample."""
+    return horvitz_thompson_sum(
+        items, total_weight, sample_capacity,
+        value=lambda _r: 1.0, predicate=predicate,
+    )

@@ -1,0 +1,252 @@
+"""Common interface for disk-based reservoir maintainers.
+
+The paper benchmarks five alternatives -- virtual memory, scan
+(massive rebuild), localized overwrite, the geometric file, and
+multiple geometric files -- against one task: keep a disk-resident
+reservoir of ``N`` records fed from a stream, admitting records online.
+:class:`StreamReservoir` is that task as an abstract base class, so the
+benchmark harness (:mod:`repro.bench`) can drive any of them
+identically.
+
+Two ingestion paths exist:
+
+* :meth:`offer` -- record-at-a-time, exact, keeps record payloads when
+  the implementation retains them.  Tests and examples use this.
+* :meth:`ingest` -- count-only fast path for paper-scale benchmark
+  runs (billions of records).  Implementations advance all counters and
+  charge all I/O exactly as ``offer`` would, but skip per-record Python
+  objects.  See DESIGN.md on scale substitution.
+
+Admission follows Algorithm 1: record ``i`` of the stream enters with
+probability ``N / i`` (``mode="uniform"``).  The paper's throughput
+experiments instead assume "every record produced by the stream was
+sampled" (Section 8) -- recency-biased, as the paper notes -- which is
+``mode="always"``; each method's relative throughput is identical, just
+scaled.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Literal
+
+import numpy as np
+
+from .storage.records import Record
+
+AdmissionMode = Literal["always", "uniform"]
+
+#: numpy's Generator.hypergeometric requires ngood, nbad < 1e9 each.
+_NUMPY_HYPERGEOMETRIC_LIMIT = 10 ** 9
+
+
+def hypergeometric(rng: np.random.Generator, ngood: int, nbad: int,
+                   nsample: int) -> int:
+    """Hypergeometric draw that tolerates paper-scale populations.
+
+    Within numpy's supported range (ngood, nbad < 1e9) the draw is
+    exact.  Beyond it -- which only billion-record benchmark runs
+    reach -- the draw falls back to a Binomial(nsample, ngood/total)
+    approximation clipped to the hypergeometric support; at the
+    buffer-to-reservoir ratios involved (B/N <= 1%) the variance
+    discrepancy is below 1% and no test-scale code path uses it.
+    """
+    if nsample > ngood + nbad:
+        raise ValueError("cannot sample more than the population")
+    if ngood < _NUMPY_HYPERGEOMETRIC_LIMIT and nbad < _NUMPY_HYPERGEOMETRIC_LIMIT:
+        return int(rng.hypergeometric(ngood, nbad, nsample))
+    p = ngood / (ngood + nbad)
+    draw = int(rng.binomial(nsample, p))
+    return max(max(0, nsample - nbad), min(draw, min(ngood, nsample)))
+
+
+def draw_victim_counts(rng: np.random.Generator, lives: list[int],
+                       count: int) -> list[int]:
+    """Algorithm 3's randomized partitioning as one vectorised draw.
+
+    Returns how many of ``count`` uniformly-chosen victims land in each
+    population of ``lives`` -- the multivariate hypergeometric
+    distribution.  Uses numpy's O(n) "marginals" sampler when the total
+    population is within its 1e9 limit, else falls back to sequential
+    conditional draws through :func:`hypergeometric`.
+    """
+    if count < 0:
+        raise ValueError("victim count must be non-negative")
+    total = sum(lives)
+    if count > total:
+        raise ValueError("more victims than live records")
+    if count == 0:
+        return [0] * len(lives)
+    if total < _NUMPY_HYPERGEOMETRIC_LIMIT and len(lives) > 1:
+        colors = np.asarray(lives, dtype=np.int64)
+        draw = rng.multivariate_hypergeometric(colors, count,
+                                               method="marginals")
+        return [int(k) for k in draw]
+    if len(lives) > 1 and total < 2 * (_NUMPY_HYPERGEOMETRIC_LIMIT - 1):
+        # Exact conditional decomposition: split the populations into
+        # two halves of roughly equal mass, draw the first half's share
+        # with one (exact-when-in-range) hypergeometric, recurse.
+        # Keeps the fast vectorised path available for reservoirs just
+        # past numpy's 1e9 limit (the paper's 50 GiB / 50 B
+        # configuration is 1.07e9 records).  A single population can
+        # itself exceed the limit (a huge first cohort); both the split
+        # draw and the recursion go through the safe wrapper, which
+        # degrades that one draw to a clipped binomial.
+        split = _balanced_split(lives, total)
+        first_total = sum(lives[:split])
+        k_first = hypergeometric(rng, first_total, total - first_total,
+                                 count)
+        return (draw_victim_counts(rng, lives[:split], k_first)
+                + draw_victim_counts(rng, lives[split:], count - k_first))
+    counts: list[int] = []
+    remaining_total = total
+    remaining_draw = count
+    for live in lives:
+        if remaining_draw == 0:
+            counts.append(0)
+            continue
+        if live == remaining_total:
+            k = remaining_draw
+        else:
+            k = hypergeometric(rng, live, remaining_total - live,
+                               remaining_draw)
+        counts.append(k)
+        remaining_total -= live
+        remaining_draw -= k
+    if remaining_draw != 0:
+        raise AssertionError("victim draw did not exhaust the flush")
+    return counts
+
+
+def _balanced_split(lives: list[int], total: int) -> int:
+    """Index splitting ``lives`` into two halves of roughly equal mass.
+
+    Both halves must be non-empty and each below numpy's limit; the
+    caller guarantees ``total < 2 * (limit - 1)``, so the split point
+    nearest the mass midpoint always satisfies that.
+    """
+    target = total // 2
+    acc = 0
+    for index, live in enumerate(lives):
+        acc += live
+        if acc >= target:
+            split = index + 1
+            break
+    else:  # pragma: no cover - loop always crosses total // 2
+        split = len(lives) - 1
+    return min(max(1, split), len(lives) - 1)
+
+
+class StreamReservoir(abc.ABC):
+    """A fixed-capacity disk-resident sample fed online from a stream.
+
+    Args:
+        capacity: reservoir size ``N`` in records.
+        admission: ``"always"`` admits every stream record (the paper's
+            benchmark mode); ``"uniform"`` applies the ``N/i``
+            reservoir gate so the maintained sample is uniform.
+        seed: RNG seed; drives both the ``random.Random`` used for
+            per-record decisions and the numpy generator used for
+            batched draws.
+    """
+
+    #: Short name used in benchmark tables ("geo file", "scan", ...).
+    name: str = "reservoir"
+
+    def __init__(self, capacity: int, *, admission: AdmissionMode = "always",
+                 seed: int | None = 0) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        if admission not in ("always", "uniform"):
+            raise ValueError(f"unknown admission mode {admission!r}")
+        self.capacity = capacity
+        self.admission = admission
+        self._rng = random.Random(seed)
+        self._np_rng = np.random.default_rng(
+            seed if seed is not None else None
+        )
+        #: Minimum useful ingest chunk for the benchmark runner
+        #: (flush-based structures override with their flush quantum).
+        self.chunk_floor = 1
+        #: Stream position: records offered so far.
+        self.seen = 0
+        #: Records admitted into the reservoir (the figures' y-axis).
+        self.samples_added = 0
+
+    # -- abstract hooks ----------------------------------------------------
+
+    @abc.abstractmethod
+    def _admit(self, record: Record | None) -> None:
+        """Accept one admitted record (``None`` in count-only mode)."""
+
+    @abc.abstractmethod
+    def _admit_count(self, n: int) -> None:
+        """Accept ``n`` admitted records without materialising them."""
+
+    @property
+    @abc.abstractmethod
+    def clock(self) -> float:
+        """Simulated disk seconds consumed so far."""
+
+    # -- ingestion ---------------------------------------------------------
+
+    def offer(self, record: Record) -> None:
+        """Present one stream record (record-level exact path)."""
+        self.seen += 1
+        if self._admits_current():
+            self.samples_added += 1
+            self._admit(record)
+
+    def ingest(self, n: int) -> None:
+        """Present ``n`` stream records (count-only fast path)."""
+        if n < 0:
+            raise ValueError("cannot ingest a negative count")
+        if n == 0:
+            return
+        self.seen += n
+        if self.admission == "always":
+            admitted = n
+        else:
+            admitted = self._count_uniform_admissions(n)
+        if admitted:
+            self.samples_added += admitted
+            self._admit_count(admitted)
+
+    def _admits_current(self) -> bool:
+        """Admission decision for the record at position ``self.seen``."""
+        if self.admission == "always" or self.seen <= self.capacity:
+            return True
+        return self._rng.random() * self.seen < self.capacity
+
+    @staticmethod
+    def apply_pending(disk_records: list[Record], pending: list[Record],
+                      rng: random.Random) -> list[Record]:
+        """Materialise a valid sample mid-flush.
+
+        Each buffered record joined the reservoir by (deferred) evicting
+        one uniformly random *disk-resident* record -- sequential draws
+        without replacement, i.e. a uniform random ``len(pending)``-
+        subset of the disk records dies.  Used by every alternative's
+        ``sample()`` so queries between flushes still see an exact
+        fixed-size random sample.
+        """
+        if not pending:
+            return list(disk_records)
+        if len(pending) > len(disk_records):
+            raise ValueError("more pending records than disk residents")
+        victims = set(rng.sample(range(len(disk_records)), len(pending)))
+        survivors = [record for i, record in enumerate(disk_records)
+                     if i not in victims]
+        return survivors + list(pending)
+
+    def _count_uniform_admissions(self, n: int) -> int:
+        """Exactly sample how many of ``n`` offers pass the ``N/i`` gate.
+
+        Vectorised Poisson-binomial draw: each position ``i`` admits
+        independently with probability ``min(1, N/i)``.
+        """
+        first = self.seen - n + 1
+        positions = np.arange(first, self.seen + 1, dtype=np.float64)
+        probs = np.minimum(1.0, self.capacity / positions)
+        return int((self._np_rng.random(n) < probs).sum())

@@ -1,0 +1,33 @@
+"""In-memory sampling algorithms: the classical foundations the
+geometric file builds on (paper Sections 3.1 and 7.2)."""
+
+from .biased_reservoir import BiasedReservoir
+from .deletions import RandomPairingReservoir
+from .feeder import feed_stream
+from .reservoir import ReservoirSample, sample_without_replacement
+from .skip import SkipReservoir, ZSkipper, skip_count_x
+from .weights import (
+    WeightFunction,
+    clamped,
+    exponential_recency,
+    linear_recency,
+    uniform_weight,
+    value_proportional,
+)
+
+__all__ = [
+    "BiasedReservoir",
+    "RandomPairingReservoir",
+    "feed_stream",
+    "ReservoirSample",
+    "SkipReservoir",
+    "WeightFunction",
+    "ZSkipper",
+    "clamped",
+    "exponential_recency",
+    "linear_recency",
+    "sample_without_replacement",
+    "skip_count_x",
+    "uniform_weight",
+    "value_proportional",
+]

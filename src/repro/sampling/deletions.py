@@ -1,0 +1,173 @@
+"""Bounded-size uniform sampling under deletions (paper Section 10).
+
+The paper's future work asks for "handling a stream that included
+deletions as well as insertions".  Plain reservoir sampling cannot: a
+deletion that hits the sample shrinks it, and naively refilling from
+later insertions biases the sample toward new records.
+
+:class:`RandomPairingReservoir` implements the *random pairing* scheme
+(Gemulla, Lehner and Haas; the now-standard answer to exactly this
+problem): every deletion is eventually "paired" with a subsequent
+insertion that conceptually takes its place.
+
+State beyond the sample itself is two counters:
+
+* ``c_in``  -- uncompensated deletions that had been *in* the sample;
+* ``c_out`` -- uncompensated deletions that had not.
+
+A deletion increments the matching counter (and removes the record if
+it was resident).  While any deletion is uncompensated, an insertion
+enters the sample with probability ``c_in / (c_in + c_out)`` -- the
+probability that the slot it is pairing with was a sample slot -- and
+decrements the matching counter; otherwise (no outstanding deletions)
+the classic reservoir step applies.  The invariant, maintained at every
+step and verified by Monte-Carlo tests: the sample is a uniform random
+subset of the *current* population, of size
+``min(capacity, population)`` whenever no deletions are outstanding
+(and never larger).
+
+Deletions address records by key; keys are assumed unique among live
+records (the usual primary-key discipline).  Deleting a key that is not
+in the current population is the caller's bug; with
+``track_population=True`` (tests, small runs) it is detected and
+raised, otherwise it silently corrupts the counters -- exactly the
+contract a production system would document.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from ..storage.records import Record
+
+
+class RandomPairingReservoir:
+    """A uniform sample of an insert/delete record stream.
+
+    Args:
+        capacity: maximum sample size.
+        rng: randomness source.
+        track_population: additionally keep the set of live keys so
+            that bad deletes raise instead of corrupting state (costs
+            O(population) memory; meant for tests and moderate scale).
+    """
+
+    def __init__(self, capacity: int, rng: random.Random | None = None,
+                 *, track_population: bool = False) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = capacity
+        self._rng = rng or random.Random()
+        self._members: dict[int, Record] = {}
+        self.population = 0
+        #: Uncompensated deletions that had been in the sample.
+        self.c_in = 0
+        #: Uncompensated deletions that had not been in the sample.
+        self.c_out = 0
+        self._live_keys: set[int] | None = (
+            set() if track_population else None
+        )
+
+    # -- observers --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self._members.values())
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._members
+
+    @property
+    def outstanding_deletions(self) -> int:
+        return self.c_in + self.c_out
+
+    def contents(self) -> list[Record]:
+        return list(self._members.values())
+
+    # -- mutation ---------------------------------------------------------
+
+    def insert(self, record: Record) -> None:
+        """Present one inserted record.
+
+        Raises:
+            ValueError: on a duplicate key when tracking the population.
+        """
+        if self._live_keys is not None:
+            if record.key in self._live_keys:
+                raise ValueError(f"duplicate key {record.key}")
+            self._live_keys.add(record.key)
+        self.population += 1
+
+        if self.c_in + self.c_out > 0:
+            # Compensation phase: pair this insertion with one of the
+            # outstanding deletions, uniformly at random.
+            if (self._rng.random() * (self.c_in + self.c_out)
+                    < self.c_in):
+                self.c_in -= 1
+                self._members[record.key] = record
+            else:
+                self.c_out -= 1
+            return
+
+        # No outstanding deletions: classic reservoir step over the
+        # current population size.
+        if len(self._members) < self.capacity:
+            self._members[record.key] = record
+            return
+        if self._rng.random() * self.population < self.capacity:
+            victim_key = self._rng.choice(list(self._members))
+            del self._members[victim_key]
+            self._members[record.key] = record
+
+    def delete(self, key: int) -> bool:
+        """Present one deletion; returns True if it hit the sample.
+
+        Raises:
+            ValueError: if the population is empty, or (when tracking)
+                the key is not live.
+        """
+        if self.population == 0:
+            raise ValueError("delete from an empty population")
+        if self._live_keys is not None:
+            if key not in self._live_keys:
+                raise ValueError(f"key {key} is not in the population")
+            self._live_keys.remove(key)
+        self.population -= 1
+        if key in self._members:
+            del self._members[key]
+            self.c_in += 1
+            return True
+        self.c_out += 1
+        return False
+
+    def apply(self, operations) -> None:
+        """Apply ``("insert", record)`` / ``("delete", key)`` pairs."""
+        for op, payload in operations:
+            if op == "insert":
+                self.insert(payload)
+            elif op == "delete":
+                self.delete(payload)
+            else:
+                raise ValueError(f"unknown operation {op!r}")
+
+    def check_invariants(self) -> None:
+        """Structural sanity: sizes and counters stay consistent."""
+        if len(self._members) > self.capacity:
+            raise AssertionError("sample exceeded its capacity")
+        if len(self._members) > self.population:
+            raise AssertionError("sample larger than the population")
+        if self.c_in + len(self._members) > self.capacity:
+            raise AssertionError(
+                "outstanding in-sample deletions exceed free capacity"
+            )
+        if self.c_in < 0 or self.c_out < 0:
+            raise AssertionError("negative compensation counter")
+        if (self.c_in + self.c_out == 0
+                and self.population >= self.capacity
+                and len(self._members) < self.capacity):
+            raise AssertionError(
+                "sample under-full with no outstanding deletions"
+            )

@@ -1,0 +1,104 @@
+"""Classic reservoir sampling (paper Algorithm 1).
+
+This is the in-memory baseline every disk-based structure in the
+library generalises: maintain a fixed-capacity set ``R`` such that after
+``i`` records have been seen, ``R`` is a uniform random sample without
+replacement of those ``i`` records.
+
+The implementation follows Algorithm 1 verbatim: the first ``N`` records
+enter directly; record ``i > N`` enters with probability ``N / i`` and,
+when it does, evicts a uniformly random resident.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Iterator, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class ReservoirSample:
+    """A uniform random sample of everything fed to :meth:`offer`.
+
+    Args:
+        capacity: the fixed sample size ``N = |R|``.
+        rng: source of randomness (seeded for reproducibility).
+
+    Invariants (tested):
+        * ``len(sample)`` == ``min(capacity, seen)``;
+        * after any prefix of offers, each seen item is resident with
+          probability ``capacity / seen``.
+    """
+
+    def __init__(self, capacity: int, rng: random.Random | None = None) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = capacity
+        self._rng = rng or random.Random()
+        self._items: list = []
+        self._seen = 0
+
+    @property
+    def seen(self) -> int:
+        """Records offered so far (the stream position ``i``)."""
+        return self._seen
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._items) == self.capacity
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator:
+        return iter(self._items)
+
+    def contents(self) -> list:
+        """A copy of the current sample."""
+        return list(self._items)
+
+    def offer(self, item: T) -> T | None:
+        """Present one stream record to the reservoir.
+
+        Returns the record that was evicted to make room, or ``None``
+        when nothing was evicted (the reservoir was still filling, or
+        the new record was rejected -- in which case the rejected record
+        itself is returned as the "evicted" one would be misleading, so
+        rejection also returns ``None``).
+        """
+        self._seen += 1
+        if len(self._items) < self.capacity:
+            self._items.append(item)
+            return None
+        # Admit with probability N / i (Algorithm 1, line 4).
+        if self._rng.random() * self._seen < self.capacity:
+            victim_index = self._rng.randrange(self.capacity)
+            evicted = self._items[victim_index]
+            self._items[victim_index] = item
+            return evicted
+        return None
+
+    def extend(self, items: Iterable[T]) -> None:
+        """Offer every item of an iterable in order."""
+        for item in items:
+            self.offer(item)
+
+
+def sample_without_replacement(population: Sequence[T], n: int,
+                               rng: random.Random | None = None) -> list[T]:
+    """One-shot uniform sample of ``n`` items via a reservoir pass.
+
+    Provided for symmetry with the streaming API; for in-memory
+    sequences ``random.sample`` is equivalent, and the tests assert the
+    two agree in distribution.
+    """
+    if n < 0:
+        raise ValueError("sample size must be non-negative")
+    if n > len(population):
+        raise ValueError("cannot sample more items than the population has")
+    if n == 0:
+        return []
+    reservoir = ReservoirSample(n, rng)
+    reservoir.extend(population)
+    return reservoir.contents()

@@ -1,0 +1,201 @@
+"""Skip-based reservoir sampling (Vitter 1985).
+
+Section 3.1 of the paper notes that "variations on the algorithm allow
+it to go to sleep for a period of time during which it only counts the
+number of records that have passed by" -- Vitter's Algorithms X and Z.
+They compute, in O(1) expected work per *accepted* record, how many
+stream records to skip before the next acceptance, instead of flipping a
+coin per record.  The paper cites them as directly composable with the
+geometric file (the buffer only needs the accepted records), so we
+implement both and expose a :class:`SkipReservoir` that plugs the skip
+machinery into the same ``offer`` interface as
+:class:`~repro.sampling.reservoir.ReservoirSample`.
+
+References:
+    J.S. Vitter.  Random sampling with a reservoir.  ACM TOMS 11(1),
+    1985.  Algorithm X computes the exact skip distribution by direct
+    search; Algorithm Z samples it by rejection from a continuous
+    envelope, giving O(n (1 + log(i/n))) total expected time.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Iterator, TypeVar
+
+T = TypeVar("T")
+
+
+def skip_count_x(n: int, seen: int, rng: random.Random) -> int:
+    """Algorithm X: exact skip after stream position ``seen``.
+
+    Draws U and finds the smallest s >= 0 with
+    ``P[gap > s] = prod_{j=1..s+1} (seen+j-n)/(seen+j) <= U``,
+    the exact distribution of the gap between acceptances.
+    """
+    if n < 1 or seen < n:
+        raise ValueError("requires a full reservoir: seen >= n >= 1")
+    u = rng.random()
+    skip = 0
+    quot = (seen + 1 - n) / (seen + 1)
+    while quot > u:
+        skip += 1
+        position = seen + skip + 1
+        quot *= (position - n) / position
+    return skip
+
+
+class ZSkipper:
+    """Vitter's Algorithm Z: rejection-sampled skip lengths.
+
+    The variable ``W`` (distributed as ``U**(-1/n)``) is carried across
+    calls exactly as in Vitter's pseudocode -- on the fast path the
+    acceptance test's ``rhs/lhs`` ratio is reused as the next ``W``.
+
+    Use :meth:`skip` once the reservoir is full; callers normally switch
+    from Algorithm X to Z when ``seen > threshold * n`` (Vitter suggests
+    a threshold around 22).
+    """
+
+    def __init__(self, n: int, rng: random.Random) -> None:
+        if n < 1:
+            raise ValueError("reservoir size must be at least 1")
+        self.n = n
+        self._rng = rng
+        self._w = math.exp(-math.log(rng.random()) / n)
+
+    def skip(self, seen: int) -> int:
+        """Records to skip after position ``seen`` (``seen >= n``)."""
+        n = self.n
+        t = seen
+        if t < n:
+            raise ValueError("requires a full reservoir: seen >= n")
+        term = t - n + 1
+        while True:
+            u = self._rng.random()
+            x = t * (self._w - 1.0)
+            s = int(x)
+            # Fast path: U <= h(S) / (c * g(X))?
+            tmp = (t + 1) / term
+            lhs = math.exp(
+                math.log(((u * tmp * tmp) * (term + s)) / (t + x)) / n
+            )
+            rhs = (((t + x) / (term + s)) * term) / t
+            if lhs <= rhs:
+                self._w = rhs / lhs
+                return s
+            # Slow path: exact test U <= f(S) / (c * g(X)).
+            y = (((u * (t + 1)) / term) * (t + s + 1)) / (t + x)
+            if n < s:
+                denom = t
+                numer_lim = term + s
+            else:
+                denom = t - n + s
+                numer_lim = t + 1
+            for numer in range(t + s, numer_lim - 1, -1):
+                y = (y * numer) / denom
+                denom -= 1
+            self._w = math.exp(-math.log(self._rng.random()) / n)
+            if math.exp(math.log(y) / n) <= (t + x) / t:
+                return s
+
+
+class SkipReservoir:
+    """Reservoir sampler that skips over rejected records in O(1).
+
+    Identical output distribution to
+    :class:`~repro.sampling.reservoir.ReservoirSample` but only does
+    real work for accepted records.  ``offer`` still takes every record
+    (so it drops into existing pipelines); :meth:`pending_skip` exposes
+    how many upcoming records will be ignored so that callers able to
+    seek (e.g. a file reader) can jump, acknowledging the jump with
+    :meth:`skip_ahead`.
+
+    Args:
+        capacity: sample size.
+        rng: randomness source.
+        use_z: switch to Algorithm Z once
+            ``seen > z_threshold * capacity``; otherwise always use
+            Algorithm X.
+        z_threshold: the T constant for the X-to-Z switch (Vitter
+            recommends about 22).
+    """
+
+    def __init__(self, capacity: int, rng: random.Random | None = None,
+                 *, use_z: bool = True, z_threshold: float = 22.0) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = capacity
+        self._rng = rng or random.Random()
+        self._use_z = use_z
+        self._z_threshold = z_threshold
+        self._z: ZSkipper | None = None
+        self._items: list = []
+        self._seen = 0
+        self._skip_remaining = 0
+        self._skip_armed = False
+
+    @property
+    def seen(self) -> int:
+        return self._seen
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator:
+        return iter(self._items)
+
+    def contents(self) -> list:
+        """A copy of the current sample."""
+        return list(self._items)
+
+    def pending_skip(self) -> int:
+        """Records that will be ignored before the next acceptance."""
+        if len(self._items) < self.capacity:
+            return 0
+        self._arm()
+        return self._skip_remaining
+
+    def _arm(self) -> None:
+        if self._skip_armed:
+            return
+        if self._use_z and self._seen > self._z_threshold * self.capacity:
+            if self._z is None:
+                self._z = ZSkipper(self.capacity, self._rng)
+            self._skip_remaining = self._z.skip(self._seen)
+        else:
+            self._skip_remaining = skip_count_x(self.capacity, self._seen,
+                                                self._rng)
+        self._skip_armed = True
+
+    def offer(self, item: T) -> T | None:
+        """Present one record; returns the evicted record on acceptance."""
+        if len(self._items) < self.capacity:
+            self._seen += 1
+            self._items.append(item)
+            return None
+        self._arm()
+        self._seen += 1
+        if self._skip_remaining > 0:
+            self._skip_remaining -= 1
+            return None
+        # This record is the accepted one; re-arm for the next gap.
+        self._skip_armed = False
+        victim = self._rng.randrange(self.capacity)
+        evicted = self._items[victim]
+        self._items[victim] = item
+        return evicted
+
+    def skip_ahead(self, produced: int) -> None:
+        """Acknowledge that ``produced`` records flew by unseen.
+
+        Only legal for ``produced <= pending_skip()``.
+        """
+        if produced < 0:
+            raise ValueError("cannot skip a negative number of records")
+        self._arm()
+        if produced > self._skip_remaining:
+            raise ValueError("skipping past the next accepted record")
+        self._skip_remaining -= produced
+        self._seen += produced

@@ -1,0 +1,96 @@
+"""Weighting functions for biased sampling (paper Section 7.1).
+
+The paper "assume[s] the existence of a user-defined weighting function
+f which takes as an argument a record r, and returns a real number
+greater than 0 that describes the record's utility".  These are the
+stock functions the examples and benchmarks use; any callable
+``Record -> float`` works.
+
+The time-decay family implements the paper's flagship use case: "in
+sensor data management, queries might refer to recent sensor readings
+far more frequently than older ones", so recent records are weighted
+up.  Note that for streaming use the weight must be computable at
+*arrival time* and fixed thereafter -- the algorithms store effective
+weights, not the function -- so recency bias is expressed as weights
+that *grow* with the record's timestamp: a record that arrives later
+gets a larger weight, which is equivalent to exponentially decaying the
+importance of older records.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from ..storage.records import Record
+
+WeightFunction = Callable[[Record], float]
+
+
+def uniform_weight(record: Record) -> float:
+    """f(r) = 1: biased machinery degenerates to uniform sampling."""
+    return 1.0
+
+
+def exponential_recency(half_life: float) -> WeightFunction:
+    """Recency bias with a half-life, expressed in timestamp units.
+
+    A record produced ``half_life`` later than another is twice as
+    likely to be retained.  Implemented as ``f(r) = 2**(t / half_life)``;
+    only weight *ratios* matter to the sampling distribution
+    (Definition 1 normalises by the total weight).
+
+    Raises:
+        ValueError: if ``half_life`` is not positive.
+    """
+    if half_life <= 0:
+        raise ValueError("half_life must be positive")
+
+    def weight(record: Record) -> float:
+        return math.pow(2.0, record.timestamp / half_life)
+
+    return weight
+
+
+def linear_recency(slope: float, floor: float = 1.0) -> WeightFunction:
+    """Weight growing linearly with the timestamp: ``floor + slope*t``."""
+    if slope < 0 or floor <= 0:
+        raise ValueError("slope must be non-negative and floor positive")
+
+    def weight(record: Record) -> float:
+        return floor + slope * record.timestamp
+
+    return weight
+
+
+def value_proportional(epsilon: float = 1e-12) -> WeightFunction:
+    """Weight proportional to |value| -- over-represent large outliers.
+
+    This mirrors the variance-reduction heuristics the paper cites
+    ([4][5][6][12][13]): the records that dominate a SUM's variance are
+    exactly the large ones, so sampling them preferentially and
+    reweighting at query time (Horvitz-Thompson, see
+    :mod:`repro.estimate.estimators`) slashes the error.
+    """
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+
+    def weight(record: Record) -> float:
+        return abs(record.value) + epsilon
+
+    return weight
+
+
+def clamped(fn: WeightFunction, low: float, high: float) -> WeightFunction:
+    """Clamp another weight function into ``[low, high]``.
+
+    Useful to tame "wildly fluctuating" f (paper Section 7.2), which
+    otherwise forces frequent true-weight rescaling.
+    """
+    if not (0 < low <= high):
+        raise ValueError("need 0 < low <= high")
+
+    def weight(record: Record) -> float:
+        return min(high, max(low, fn(record)))
+
+    return weight

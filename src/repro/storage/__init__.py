@@ -1,0 +1,45 @@
+"""Storage substrate: simulated and real block devices, buffer pool,
+record codecs, and extent allocation.
+
+This package is the stand-in for the paper's physical disks (see
+DESIGN.md section 2 for the substitution rationale).
+"""
+
+from .buffer_pool import BufferPoolStats, LRUBufferPool
+from .device import (
+    BlockDevice,
+    FileBlockDevice,
+    MemoryBlockDevice,
+    SimulatedBlockDevice,
+)
+from .disk_model import DiskModel, DiskParameters, DiskStats
+from .extents import Extent, ExtentAllocator
+from .records import (
+    MIN_RECORD_SIZE,
+    Record,
+    RecordSchema,
+    WeightedRecord,
+)
+
+__all__ = [
+    "BlockDevice",
+    "BufferPoolStats",
+    "DiskModel",
+    "DiskParameters",
+    "DiskStats",
+    "Extent",
+    "ExtentAllocator",
+    "FileBlockDevice",
+    "LRUBufferPool",
+    "MemoryBlockDevice",
+    "MIN_RECORD_SIZE",
+    "Record",
+    "RecordSchema",
+    "SimulatedBlockDevice",
+    "WeightedRecord",
+]
+
+from .striping import StripedBlockDevice  # noqa: E402
+from .varrecords import VariableRecordCodec  # noqa: E402
+
+__all__.extend(["StripedBlockDevice", "VariableRecordCodec"])

@@ -1,0 +1,174 @@
+"""LRU buffer pool.
+
+Section 8 of the paper gives every disk-based alternative a fixed LRU
+buffer for disk reads/writes (100 MB in Experiments 1-3) on top of the
+memory reserved for buffering newly sampled records.  The virtual-memory
+baseline in particular lives or dies by this pool: each admitted record
+touches one random block, so once the reservoir exceeds the pool every
+admission pays a read *and* a write-back.
+
+The pool caches whole blocks, supports pin/unpin so callers can mutate a
+page in place, uses write-back (dirty pages are flushed on eviction or
+:meth:`flush_all`), and records hit statistics for the benchmark report.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from .device import BlockDevice
+
+
+@dataclass
+class BufferPoolStats:
+    """Cache effectiveness counters."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    write_backs: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+
+class _Frame:
+    """One cached block."""
+
+    __slots__ = ("data", "dirty", "pins")
+
+    def __init__(self, data: bytearray) -> None:
+        self.data = data
+        self.dirty = False
+        self.pins = 0
+
+
+class LRUBufferPool:
+    """Write-back LRU cache of device blocks.
+
+    Args:
+        device: the underlying block device.
+        capacity_blocks: number of blocks the pool may hold (>= 1).
+
+    The pool evicts the least recently used *unpinned* frame.  Pinned
+    frames are never evicted; attempting to exceed capacity with every
+    frame pinned raises ``RuntimeError`` (it indicates a caller bug).
+    """
+
+    def __init__(self, device: BlockDevice, capacity_blocks: int) -> None:
+        if capacity_blocks < 1:
+            raise ValueError("pool needs at least one frame")
+        self.device = device
+        self.capacity = capacity_blocks
+        self.stats = BufferPoolStats()
+        self._frames: OrderedDict[int, _Frame] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    def contains(self, block: int) -> bool:
+        """True if ``block`` is currently cached (no LRU side effects)."""
+        return block in self._frames
+
+    def get(self, block: int) -> bytearray:
+        """Return the (mutable) contents of ``block``, fetching on miss.
+
+        The returned buffer aliases the cached frame: callers that mutate
+        it must call :meth:`mark_dirty`.  For mutation across other pool
+        operations, :meth:`pin` the block first.
+        """
+        frame = self._frames.get(block)
+        if frame is not None:
+            self.stats.hits += 1
+            self._frames.move_to_end(block)
+            return frame.data
+        self.stats.misses += 1
+        self._ensure_room()
+        data = bytearray(self.device.read_blocks(block, 1))
+        frame = _Frame(data)
+        self._frames[block] = frame
+        return frame.data
+
+    def put(self, block: int, data: bytes) -> None:
+        """Replace the contents of ``block`` entirely (no read on miss)."""
+        if len(data) != self.device.block_size:
+            raise ValueError("put requires exactly one block of data")
+        frame = self._frames.get(block)
+        if frame is None:
+            self.stats.misses += 1
+            self._ensure_room()
+            frame = _Frame(bytearray(data))
+            self._frames[block] = frame
+        else:
+            self.stats.hits += 1
+            frame.data[:] = data
+            self._frames.move_to_end(block)
+        frame.dirty = True
+
+    def mark_dirty(self, block: int) -> None:
+        """Record that a cached block was mutated in place."""
+        frame = self._frames.get(block)
+        if frame is None:
+            raise KeyError(f"block {block} is not cached")
+        frame.dirty = True
+
+    def pin(self, block: int) -> bytearray:
+        """Fetch-and-pin ``block``; pinned frames are never evicted."""
+        data = self.get(block)
+        self._frames[block].pins += 1
+        return data
+
+    def unpin(self, block: int, *, dirty: bool = False) -> None:
+        """Release one pin; optionally mark the frame dirty."""
+        frame = self._frames.get(block)
+        if frame is None or frame.pins == 0:
+            raise KeyError(f"block {block} is not pinned")
+        frame.pins -= 1
+        if dirty:
+            frame.dirty = True
+
+    def flush_block(self, block: int) -> None:
+        """Write one dirty cached block back to the device."""
+        frame = self._frames.get(block)
+        if frame is not None and frame.dirty:
+            self.device.write_blocks(block, bytes(frame.data))
+            self.stats.write_backs += 1
+            frame.dirty = False
+
+    def flush_all(self) -> None:
+        """Write back every dirty frame (frames stay cached)."""
+        # Flush in address order: a real pool would coalesce neighbouring
+        # dirty pages into sequential I/O, and the simulated disk rewards
+        # the same pattern.
+        for block in sorted(self._frames):
+            self.flush_block(block)
+
+    def drop_all(self) -> None:
+        """Flush then empty the pool."""
+        self.flush_all()
+        if any(f.pins for f in self._frames.values()):
+            raise RuntimeError("cannot drop pool with pinned frames")
+        self._frames.clear()
+
+    def _ensure_room(self) -> None:
+        while len(self._frames) >= self.capacity:
+            victim = None
+            for block, frame in self._frames.items():  # LRU order
+                if frame.pins == 0:
+                    victim = block
+                    break
+            if victim is None:
+                raise RuntimeError("all frames pinned; cannot evict")
+            frame = self._frames.pop(victim)
+            self.stats.evictions += 1
+            if frame.dirty:
+                self.device.write_blocks(victim, bytes(frame.data))
+                self.stats.write_backs += 1

@@ -1,0 +1,153 @@
+"""Fixed-size record schema and codec.
+
+The paper's experiments stream fixed-size records (50 B in Experiments 1
+and 3, 1 KB in Experiment 2, 100 B in the motivating calculations).  A
+:class:`Record` carries the fields the rest of the library needs --
+a unique key, a numeric attribute for approximate query processing, and
+a timestamp for time-biased sampling -- plus opaque padding up to the
+configured record size.
+
+Handling variable-size records is listed as future work in Section 10 of
+the paper; this codec keeps the paper's fixed-size assumption, and the
+record size is the knob benchmarks turn between Experiments 1 and 2.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+
+# key (int64), value (float64), timestamp (float64)
+_HEADER = struct.Struct("<qdd")
+#: Smallest representable record: just the three header fields.
+MIN_RECORD_SIZE = _HEADER.size
+
+# weight (float64) prepended for weighted records
+_WEIGHT = struct.Struct("<d")
+
+
+@dataclass(frozen=True)
+class Record:
+    """One stream record.
+
+    Attributes:
+        key: unique identifier (the stream assigns sequence numbers).
+        value: numeric attribute used by estimators and example queries.
+        timestamp: production time; drives time-biased weighting.
+        payload: opaque filler bytes; the codec pads/truncates to the
+            schema's record size, so this usually stays empty.
+    """
+
+    key: int
+    value: float = 0.0
+    timestamp: float = 0.0
+    payload: bytes = b""
+
+
+@dataclass(frozen=True)
+class WeightedRecord:
+    """A record plus its *effective weight* (paper Section 7.3.1).
+
+    The geometric file stores ``record.weight`` on disk next to the
+    record; the per-subsample multiplier lives in memory.  The true
+    weight of the record is ``multiplier * weight`` (Definition 2).
+    """
+
+    record: Record
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.weight < 0:
+            raise ValueError("weights must be non-negative")
+
+
+class RecordSchema:
+    """A fixed record size plus derived layout numbers.
+
+    Args:
+        record_size: bytes per record on disk (>= MIN_RECORD_SIZE).
+        weighted: reserve 8 extra header bytes for the effective weight.
+    """
+
+    def __init__(self, record_size: int, *, weighted: bool = False) -> None:
+        minimum = MIN_RECORD_SIZE + (_WEIGHT.size if weighted else 0)
+        if record_size < minimum:
+            raise ValueError(
+                f"record_size {record_size} below minimum {minimum}"
+            )
+        self.record_size = record_size
+        self.weighted = weighted
+
+    def records_per_block(self, block_size: int) -> int:
+        """How many whole records fit in one device block."""
+        n = block_size // self.record_size
+        if n < 1:
+            raise ValueError(
+                f"record of {self.record_size} B does not fit in a "
+                f"{block_size} B block"
+            )
+        return n
+
+    def blocks_for_records(self, n_records: int, block_size: int) -> int:
+        """Blocks needed to hold ``n_records`` (packed, last block padded)."""
+        if n_records < 0:
+            raise ValueError("record count must be non-negative")
+        per_block = self.records_per_block(block_size)
+        return -(-n_records // per_block)  # ceiling division
+
+    # -- encoding ---------------------------------------------------------
+
+    def encode(self, record: Record, weight: float | None = None) -> bytes:
+        """Pack one record into exactly ``record_size`` bytes."""
+        head = b""
+        if self.weighted:
+            head = _WEIGHT.pack(1.0 if weight is None else weight)
+        elif weight is not None:
+            raise ValueError("schema is unweighted; cannot store a weight")
+        head += _HEADER.pack(record.key, record.value, record.timestamp)
+        room = self.record_size - len(head)
+        body = record.payload[:room]
+        return head + body + b"\x00" * (room - len(body))
+
+    def decode(self, data: bytes) -> Record | WeightedRecord:
+        """Unpack one record slot.
+
+        Returns a :class:`WeightedRecord` for weighted schemas, a plain
+        :class:`Record` otherwise.  Padding bytes are dropped.
+        """
+        if len(data) != self.record_size:
+            raise ValueError(
+                f"expected {self.record_size} bytes, got {len(data)}"
+            )
+        offset = 0
+        weight = None
+        if self.weighted:
+            (weight,) = _WEIGHT.unpack_from(data, 0)
+            offset = _WEIGHT.size
+        key, value, timestamp = _HEADER.unpack_from(data, offset)
+        payload = data[offset + _HEADER.size:].rstrip(b"\x00")
+        record = Record(key=key, value=value, timestamp=timestamp,
+                        payload=payload)
+        if self.weighted:
+            return WeightedRecord(record=record, weight=weight)
+        return record
+
+    def encode_batch(self, records: list[Record],
+                     weights: list[float] | None = None) -> bytes:
+        """Pack a list of records back-to-back."""
+        if weights is None:
+            return b"".join(self.encode(r) for r in records)
+        if len(weights) != len(records):
+            raise ValueError("weights must match records one-to-one")
+        return b"".join(self.encode(r, w) for r, w in zip(records, weights))
+
+    def decode_batch(self, data: bytes, n_records: int):
+        """Unpack ``n_records`` packed records from ``data``."""
+        need = n_records * self.record_size
+        if len(data) < need:
+            raise ValueError("not enough bytes for requested records")
+        return [
+            self.decode(data[i * self.record_size:(i + 1) * self.record_size])
+            for i in range(n_records)
+        ]

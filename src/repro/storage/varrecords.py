@@ -1,0 +1,141 @@
+"""Variable-size record encoding (paper Section 10).
+
+"One obvious direction for future work is handling the case where
+record size is variable."  The storage-level prerequisite is a codec
+that packs records of different lengths into block runs and gets them
+back; this module provides it, with the framing a disk structure
+needs:
+
+* each record is length-prefixed (u32) so runs are self-describing;
+* :meth:`VariableRecordCodec.pack` fills a byte budget greedily and
+  reports what did not fit, which is exactly the primitive a
+  bytes-denominated segment ladder needs (size a segment in bytes,
+  pack records until full, spill the remainder to the stack);
+* a packed run round-trips through any block device.
+
+How the geometric file would consume this (design sketch, documented
+rather than implemented, since the paper leaves the algorithmics open):
+Lemma 1 and the segment ladders are denominated in *records* because
+eviction probability is per record.  With variable sizes the physical
+ladder must be denominated in bytes while the sampling ledger stays in
+records; the LIFO stacks then absorb not only count variance
+(Section 4.5) but byte-packing variance, so the 3*sqrt(B) sizing rule
+would need an extra term for the record-size distribution's coefficient
+of variation.  The codec below, plus the ledgers' existing
+surplus/debt machinery, are the load-bearing pieces either way.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, Sequence
+
+from .records import Record
+
+_LENGTH = struct.Struct("<I")
+_HEADER = struct.Struct("<qdd")  # key, value, timestamp
+
+
+class VariableRecordCodec:
+    """Length-prefixed encoding of records with arbitrary payloads.
+
+    Args:
+        max_record_bytes: upper bound on one encoded record (a sanity
+            limit; a record bigger than any segment could never be
+            placed).
+    """
+
+    def __init__(self, max_record_bytes: int = 1 << 20) -> None:
+        if max_record_bytes < self.overhead:
+            raise ValueError("max_record_bytes below fixed overhead")
+        self.max_record_bytes = max_record_bytes
+
+    #: Fixed bytes per record: length prefix + key/value/timestamp.
+    overhead = _LENGTH.size + _HEADER.size
+
+    def encoded_size(self, record: Record) -> int:
+        """Bytes :meth:`encode` will produce for this record."""
+        return self.overhead + len(record.payload)
+
+    def encode(self, record: Record) -> bytes:
+        size = self.encoded_size(record)
+        if size > self.max_record_bytes:
+            raise ValueError(
+                f"record of {size} B exceeds the {self.max_record_bytes} B "
+                f"limit"
+            )
+        body = _HEADER.pack(record.key, record.value, record.timestamp) \
+            + record.payload
+        return _LENGTH.pack(len(body)) + body
+
+    def decode_run(self, data: bytes) -> list[Record]:
+        """Decode a packed run produced by :meth:`pack`.
+
+        Trailing zero padding (an all-zero length prefix) terminates
+        the run, so runs may be block-padded freely.
+        """
+        records: list[Record] = []
+        offset = 0
+        while offset + _LENGTH.size <= len(data):
+            (length,) = _LENGTH.unpack_from(data, offset)
+            if length == 0:
+                break
+            offset += _LENGTH.size
+            if offset + length > len(data):
+                raise ValueError("truncated record run")
+            if length < _HEADER.size:
+                raise ValueError("corrupt record header")
+            key, value, timestamp = _HEADER.unpack_from(data, offset)
+            payload = bytes(data[offset + _HEADER.size:offset + length])
+            records.append(Record(key=key, value=value,
+                                  timestamp=timestamp, payload=payload))
+            offset += length
+        return records
+
+    def pack(self, records: Iterable[Record], budget_bytes: int
+             ) -> tuple[bytes, list[Record]]:
+        """Pack records into at most ``budget_bytes``, preserving order.
+
+        Returns ``(run, overflow)``: the encoded run (unpadded) and the
+        records that did not fit.  Packing is first-fit in order --
+        reordering would break the exchangeability argument the
+        sampling structures rely on (a prefix of a shuffled list must
+        stay a uniform subset).
+
+        Raises:
+            ValueError: if the budget cannot hold even an empty run
+                terminator.
+        """
+        if budget_bytes < _LENGTH.size:
+            raise ValueError("budget smaller than a run terminator")
+        pieces: list[bytes] = []
+        used = 0
+        overflow: list[Record] = []
+        spilling = False
+        for record in records:
+            if spilling:
+                overflow.append(record)
+                continue
+            encoded = self.encode(record)
+            # Keep room for the zero terminator.
+            if used + len(encoded) + _LENGTH.size > budget_bytes:
+                overflow.append(record)
+                spilling = True
+                continue
+            pieces.append(encoded)
+            used += len(encoded)
+        pieces.append(_LENGTH.pack(0))
+        return b"".join(pieces), overflow
+
+    def pad_to_blocks(self, run: bytes, block_size: int) -> bytes:
+        """Zero-pad a run to a whole number of blocks."""
+        if block_size < 1:
+            raise ValueError("block size must be positive")
+        remainder = len(run) % block_size
+        if remainder == 0:
+            return run
+        return run + b"\x00" * (block_size - remainder)
+
+    def total_encoded_size(self, records: Sequence[Record]) -> int:
+        """Bytes needed for all records plus the run terminator."""
+        return sum(self.encoded_size(r) for r in records) + _LENGTH.size

@@ -1,0 +1,24 @@
+"""Synthetic data streams used by examples, tests and benchmarks."""
+
+from .base import CountingStream, DataStream, TransformedStream, take
+from .generators import (
+    LogNormalStream,
+    MixtureStream,
+    NormalStream,
+    UniformStream,
+    ZipfStream,
+)
+from .sensor import SensorStream
+
+__all__ = [
+    "CountingStream",
+    "DataStream",
+    "LogNormalStream",
+    "MixtureStream",
+    "NormalStream",
+    "SensorStream",
+    "TransformedStream",
+    "UniformStream",
+    "ZipfStream",
+    "take",
+]

@@ -1,0 +1,98 @@
+"""Data stream abstractions.
+
+The paper's setting is a single pass over an unbounded stream: records
+arrive one at a time, each is seen once, and the reservoir must be a
+valid snapshot at all times.  A stream here is simply an iterator of
+:class:`~repro.storage.records.Record` objects with a couple of
+conveniences (peeking at how many records have been produced, slicing a
+finite prefix for tests).
+
+All generators are seeded and deterministic: the same seed yields the
+same stream, which the tests rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Protocol, runtime_checkable
+
+from ..storage.records import Record
+
+
+@runtime_checkable
+class DataStream(Protocol):
+    """Anything that yields records and counts them."""
+
+    def __iter__(self) -> Iterator[Record]:
+        ...
+
+    @property
+    def produced(self) -> int:
+        """Records handed out so far."""
+        ...
+
+
+class CountingStream:
+    """Wrap any record iterable with a ``produced`` counter.
+
+    This adapter lets plain lists or generator expressions be used
+    wherever a :class:`DataStream` is expected.
+    """
+
+    def __init__(self, records: Iterable[Record]) -> None:
+        self._source = iter(records)
+        self._produced = 0
+
+    @property
+    def produced(self) -> int:
+        return self._produced
+
+    def __iter__(self) -> Iterator[Record]:
+        return self
+
+    def __next__(self) -> Record:
+        record = next(self._source)
+        self._produced += 1
+        return record
+
+
+def take(stream: Iterable[Record], n: int) -> list[Record]:
+    """Materialise exactly the first ``n`` records of a stream.
+
+    Consumes exactly ``n`` records (no look-ahead), so interleaved use
+    with the stream's own ``produced`` counter stays consistent.
+    """
+    if n < 0:
+        raise ValueError("cannot take a negative number of records")
+    iterator = iter(stream)
+    out: list[Record] = []
+    while len(out) < n:
+        try:
+            out.append(next(iterator))
+        except StopIteration:
+            raise ValueError(
+                f"stream exhausted after {len(out)} records, wanted {n}"
+            ) from None
+    return out
+
+
+class TransformedStream:
+    """Apply a function to every record of an underlying stream.
+
+    Used, e.g., to stamp arrival timestamps or rewrite values for
+    ablation workloads without touching the generator itself.
+    """
+
+    def __init__(self, stream: Iterable[Record],
+                 fn: Callable[[Record], Record]) -> None:
+        self._inner = CountingStream(stream)
+        self._fn = fn
+
+    @property
+    def produced(self) -> int:
+        return self._inner.produced
+
+    def __iter__(self) -> Iterator[Record]:
+        return self
+
+    def __next__(self) -> Record:
+        return self._fn(next(self._inner))

@@ -1,0 +1,67 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.geometric_file import GeometricFile, GeometricFileConfig
+from repro.core.multi import MultiFileConfig, MultipleGeometricFiles
+from repro.storage.device import SimulatedBlockDevice
+from repro.storage.disk_model import DiskParameters
+from repro.storage.records import Record
+
+#: Small block size so unit-test scales still have multi-block segments.
+TEST_BLOCK = 4096
+
+
+def small_disk_params() -> DiskParameters:
+    return DiskParameters(seek_time=0.010, transfer_rate=40 * 1024 * 1024,
+                          block_size=TEST_BLOCK)
+
+
+def make_geometric_file(capacity=2000, buffer_capacity=100, record_size=40,
+                        *, retain_records=True, admission="uniform",
+                        seed=0, **kwargs) -> GeometricFile:
+    """A small geometric file on a fresh simulated device.
+
+    The in-memory tail group defaults to a tenth of the buffer so small
+    test configurations still exercise the disk ladder (the library's
+    own default of one block's worth would swallow a 50-record buffer
+    whole).
+    """
+    kwargs.setdefault("beta_records", max(4, buffer_capacity // 10))
+    config = GeometricFileConfig(
+        capacity=capacity, buffer_capacity=buffer_capacity,
+        record_size=record_size, retain_records=retain_records,
+        admission=admission, **kwargs,
+    )
+    blocks = GeometricFile.required_blocks(config, TEST_BLOCK)
+    device = SimulatedBlockDevice(blocks, small_disk_params())
+    return GeometricFile(device, config, seed=seed)
+
+
+def make_multi_file(capacity=2000, buffer_capacity=100, record_size=40,
+                    *, retain_records=True, admission="uniform",
+                    alpha_prime=0.9, seed=0,
+                    **kwargs) -> MultipleGeometricFiles:
+    """A small multi-file structure on a fresh simulated device."""
+    kwargs.setdefault("beta_records", max(4, buffer_capacity // 10))
+    config = MultiFileConfig(
+        capacity=capacity, buffer_capacity=buffer_capacity,
+        record_size=record_size, retain_records=retain_records,
+        admission=admission, alpha_prime=alpha_prime, **kwargs,
+    )
+    blocks = MultipleGeometricFiles.required_blocks(config, TEST_BLOCK)
+    device = SimulatedBlockDevice(blocks, small_disk_params())
+    return MultipleGeometricFiles(device, config, seed=seed)
+
+
+def keyed_records(n: int) -> list[Record]:
+    """Records with key == index, value == key, timestamp == key."""
+    return [Record(key=i, value=float(i), timestamp=float(i))
+            for i in range(n)]
+
+
+@pytest.fixture
+def records100() -> list[Record]:
+    return keyed_records(100)

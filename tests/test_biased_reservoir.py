@@ -1,0 +1,196 @@
+"""Unit tests for biased reservoir sampling (Algorithm 4)."""
+
+import collections
+import math
+import random
+
+import pytest
+
+from repro.sampling import BiasedReservoir, ReservoirSample
+from repro.sampling.weights import (
+    clamped,
+    exponential_recency,
+    linear_recency,
+    uniform_weight,
+    value_proportional,
+)
+from repro.storage.records import Record
+
+
+def records(n, weight_attr=None):
+    return [Record(key=i, value=float(weight_attr(i) if weight_attr else i),
+                   timestamp=float(i)) for i in range(n)]
+
+
+class TestUniformDegenerate:
+    def test_matches_plain_reservoir_distribution(self):
+        """With f == 1 the biased sampler is an ordinary reservoir."""
+        trials, n, stream = 2000, 5, 40
+        biased_counts = collections.Counter()
+        plain_counts = collections.Counter()
+        data = records(stream)
+        for t in range(trials):
+            biased = BiasedReservoir(n, uniform_weight, random.Random(t))
+            biased.extend(data)
+            biased_counts.update(r.key for r in biased)
+            plain = ReservoirSample(n, random.Random(t + 10 ** 6))
+            plain.extend(range(stream))
+            plain_counts.update(plain.contents())
+        expected = trials * n / stream
+        sigma = math.sqrt(trials * (n / stream))
+        for key in range(stream):
+            assert abs(biased_counts[key] - expected) < 5 * sigma
+            assert abs(biased_counts[key] - plain_counts[key]) < 7 * sigma
+
+    def test_uniform_true_weights_all_equal(self):
+        biased = BiasedReservoir(10, uniform_weight, random.Random(0))
+        biased.extend(records(100))
+        weights = [w for _, w in biased.items()]
+        assert all(w == pytest.approx(weights[0]) for w in weights)
+
+
+class TestBiasedInclusion:
+    def test_inclusion_proportional_to_weight(self):
+        """Definition 1: Pr[r in R] proportional to f(r)."""
+        # Two classes of records: weight 1 and weight 4.
+        def weight_fn(record):
+            return 4.0 if record.key % 2 == 0 else 1.0
+
+        trials, n, stream = 3000, 4, 80
+        counts = collections.Counter()
+        data = records(stream)
+        for t in range(trials):
+            biased = BiasedReservoir(n, weight_fn, random.Random(t))
+            biased.extend(data)
+            counts.update(r.key for r in biased)
+        total_weight = 40 * 4.0 + 40 * 1.0
+        heavy = sum(counts[k] for k in range(0, stream, 2)) / (trials * 40)
+        light = sum(counts[k] for k in range(1, stream, 2)) / (trials * 40)
+        assert heavy / light == pytest.approx(4.0, rel=0.15)
+        # And the absolute level matches n * f / totalWeight.
+        assert heavy == pytest.approx(n * 4.0 / total_weight, rel=0.1)
+
+    def test_recency_bias_prefers_recent_records(self):
+        weight_fn = exponential_recency(half_life=20.0)
+        biased = BiasedReservoir(50, weight_fn, random.Random(5))
+        biased.extend(records(2000))
+        mean_key = sum(r.key for r in biased) / len(biased)
+        assert mean_key > 1600  # uniform would give ~1000
+
+    def test_size_and_seen(self):
+        biased = BiasedReservoir(10, uniform_weight, random.Random(0))
+        biased.extend(records(100))
+        assert len(biased) == 10
+        assert biased.seen == 100
+        assert biased.is_full
+
+
+class TestWeightBookkeeping:
+    def test_total_weight_tracks_stream(self):
+        biased = BiasedReservoir(5, uniform_weight, random.Random(0))
+        biased.extend(records(50))
+        assert biased.total_weight == pytest.approx(50.0)
+
+    def test_overflow_event_rescales(self):
+        """A huge-weight record must trigger Section 7.3.2 rescaling."""
+        def weight_fn(record):
+            return 1000.0 if record.key == 30 else 1.0
+
+        biased = BiasedReservoir(5, weight_fn, random.Random(0))
+        biased.extend(records(40))
+        assert biased.overflow_events >= 1
+        # Step (3): totalWeight was reset to |R| * f(r) at the event
+        # and keeps growing afterwards.
+        assert biased.total_weight >= 5 * 1000.0
+
+    def test_huge_record_is_admitted_with_certainty(self):
+        def weight_fn(record):
+            return 10 ** 6 if record.key == 20 else 1.0
+
+        for seed in range(20):
+            biased = BiasedReservoir(3, weight_fn, random.Random(seed))
+            biased.extend(records(21))
+            assert 20 in {r.key for r in biased}
+
+    def test_true_weight_exact_without_overflow(self):
+        """Guarantee (1): true weight == f(r) when no later overflow."""
+        biased = BiasedReservoir(5, uniform_weight, random.Random(0))
+        biased.extend(records(200))
+        for record, true_weight in biased.items():
+            if record.key >= 5:  # not part of the startup fill
+                assert true_weight == pytest.approx(1.0)
+
+    def test_inclusion_probability_formula(self):
+        biased = BiasedReservoir(5, uniform_weight, random.Random(0))
+        biased.extend(records(100))
+        _, w = next(iter(biased.items()))
+        assert biased.inclusion_probability(w) == pytest.approx(
+            5 * w / biased.total_weight
+        )
+
+    def test_renormalization_keeps_true_weights(self):
+        """Scale folding must not change observable true weights."""
+        import repro.sampling.biased_reservoir as mod
+        original = mod._RENORMALIZE_ABOVE
+        mod._RENORMALIZE_ABOVE = 10.0  # force frequent folding
+        try:
+            def weight_fn(record):
+                return 50.0 if record.key % 10 == 0 else 1.0
+
+            biased = BiasedReservoir(4, weight_fn, random.Random(3))
+            biased.extend(records(200))
+            for record, true_weight in biased.items():
+                assert true_weight > 0
+            assert biased._scale <= 10.0 * 50.0
+        finally:
+            mod._RENORMALIZE_ABOVE = original
+
+
+class TestValidation:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            BiasedReservoir(0)
+
+    def test_nonpositive_weight_rejected(self):
+        biased = BiasedReservoir(5, lambda r: 0.0)
+        with pytest.raises(ValueError):
+            biased.offer(Record(key=1))
+
+    def test_inclusion_probability_before_any_offer(self):
+        biased = BiasedReservoir(5)
+        with pytest.raises(ValueError):
+            biased.inclusion_probability(1.0)
+
+
+class TestWeightFunctions:
+    def test_uniform(self):
+        assert uniform_weight(Record(key=1)) == 1.0
+
+    def test_exponential_recency_ratio(self):
+        fn = exponential_recency(half_life=10.0)
+        a = fn(Record(key=0, timestamp=0.0))
+        b = fn(Record(key=1, timestamp=10.0))
+        assert b / a == pytest.approx(2.0)
+
+    def test_exponential_recency_validation(self):
+        with pytest.raises(ValueError):
+            exponential_recency(0.0)
+
+    def test_linear_recency(self):
+        fn = linear_recency(slope=2.0, floor=1.0)
+        assert fn(Record(key=0, timestamp=3.0)) == 7.0
+        with pytest.raises(ValueError):
+            linear_recency(-1.0)
+
+    def test_value_proportional(self):
+        fn = value_proportional()
+        assert fn(Record(key=0, value=-5.0)) == pytest.approx(5.0, abs=1e-9)
+        assert fn(Record(key=0, value=0.0)) > 0
+
+    def test_clamped(self):
+        fn = clamped(lambda r: r.value, 1.0, 10.0)
+        assert fn(Record(key=0, value=0.5)) == 1.0
+        assert fn(Record(key=0, value=100.0)) == 10.0
+        assert fn(Record(key=0, value=5.0)) == 5.0
+        with pytest.raises(ValueError):
+            clamped(uniform_weight, 2.0, 1.0)

@@ -1,0 +1,163 @@
+"""Unit tests for the LRU buffer pool."""
+
+import pytest
+
+from repro.storage.buffer_pool import LRUBufferPool
+from repro.storage.device import MemoryBlockDevice, SimulatedBlockDevice
+from repro.storage.disk_model import DiskParameters
+
+
+def make_pool(capacity=3, n_blocks=16, block_size=64):
+    device = MemoryBlockDevice(n_blocks, block_size=block_size)
+    return device, LRUBufferPool(device, capacity)
+
+
+class TestBasics:
+    def test_get_fetches_from_device(self):
+        device, pool = make_pool()
+        device.write_blocks(5, b"\x07" * 64)
+        assert bytes(pool.get(5)) == b"\x07" * 64
+        assert pool.stats.misses == 1
+
+    def test_get_twice_hits_cache(self):
+        _, pool = make_pool()
+        pool.get(1)
+        pool.get(1)
+        assert pool.stats.hits == 1
+        assert pool.stats.misses == 1
+
+    def test_put_then_flush_reaches_device(self):
+        device, pool = make_pool()
+        pool.put(2, b"\x09" * 64)
+        assert device.read_blocks(2, 1) == b"\x00" * 64  # write-back
+        pool.flush_block(2)
+        assert device.read_blocks(2, 1) == b"\x09" * 64
+
+    def test_put_wrong_size_rejected(self):
+        _, pool = make_pool()
+        with pytest.raises(ValueError):
+            pool.put(0, b"short")
+
+    def test_len_tracks_cached_frames(self):
+        _, pool = make_pool(capacity=3)
+        pool.get(0)
+        pool.get(1)
+        assert len(pool) == 2
+
+    def test_contains_has_no_lru_side_effect(self):
+        _, pool = make_pool(capacity=2)
+        pool.get(0)
+        pool.get(1)
+        assert pool.contains(0)
+        pool.get(2)  # evicts LRU, which must still be block 0
+        assert not pool.contains(0)
+
+    def test_needs_at_least_one_frame(self):
+        device = MemoryBlockDevice(4, block_size=64)
+        with pytest.raises(ValueError):
+            LRUBufferPool(device, 0)
+
+
+class TestEviction:
+    def test_lru_order(self):
+        _, pool = make_pool(capacity=2)
+        pool.get(0)
+        pool.get(1)
+        pool.get(0)   # touch 0: now 1 is LRU
+        pool.get(2)   # evicts 1
+        assert pool.contains(0) and pool.contains(2)
+        assert not pool.contains(1)
+        assert pool.stats.evictions == 1
+
+    def test_dirty_eviction_writes_back(self):
+        device, pool = make_pool(capacity=1)
+        pool.put(3, b"\x05" * 64)
+        pool.get(4)  # evicts dirty block 3
+        assert device.read_blocks(3, 1) == b"\x05" * 64
+        assert pool.stats.write_backs == 1
+
+    def test_clean_eviction_does_not_write(self):
+        device = SimulatedBlockDevice(16, DiskParameters(block_size=64))
+        pool = LRUBufferPool(device, 1)
+        pool.get(0)
+        pool.get(1)
+        assert device.model.stats.writes == 0
+
+    def test_pinned_frames_survive_pressure(self):
+        _, pool = make_pool(capacity=2)
+        pool.pin(0)
+        pool.get(1)
+        pool.get(2)  # must evict 1, not the pinned 0
+        assert pool.contains(0)
+        pool.unpin(0)
+
+    def test_all_pinned_raises(self):
+        _, pool = make_pool(capacity=1)
+        pool.pin(0)
+        with pytest.raises(RuntimeError):
+            pool.get(1)
+
+
+class TestDirtyTracking:
+    def test_mark_dirty_requires_cached_block(self):
+        _, pool = make_pool()
+        with pytest.raises(KeyError):
+            pool.mark_dirty(7)
+
+    def test_in_place_mutation_with_mark_dirty(self):
+        device, pool = make_pool()
+        frame = pool.get(0)
+        frame[0] = 0xAA
+        pool.mark_dirty(0)
+        pool.flush_all()
+        assert device.read_blocks(0, 1)[0] == 0xAA
+
+    def test_unpin_dirty_flag(self):
+        device, pool = make_pool()
+        frame = pool.pin(0)
+        frame[1] = 0xBB
+        pool.unpin(0, dirty=True)
+        pool.flush_all()
+        assert device.read_blocks(0, 1)[1] == 0xBB
+
+    def test_unpin_unpinned_raises(self):
+        _, pool = make_pool()
+        pool.get(0)
+        with pytest.raises(KeyError):
+            pool.unpin(0)
+
+    def test_flush_all_clears_dirty_but_keeps_frames(self):
+        device, pool = make_pool()
+        pool.put(0, b"\x01" * 64)
+        pool.put(1, b"\x02" * 64)
+        pool.flush_all()
+        assert pool.stats.write_backs == 2
+        assert len(pool) == 2
+        pool.flush_all()  # nothing dirty now
+        assert pool.stats.write_backs == 2
+
+    def test_drop_all_flushes_then_empties(self):
+        device, pool = make_pool()
+        pool.put(0, b"\x03" * 64)
+        pool.drop_all()
+        assert len(pool) == 0
+        assert device.read_blocks(0, 1) == b"\x03" * 64
+
+    def test_drop_all_refuses_pinned(self):
+        _, pool = make_pool()
+        pool.pin(0)
+        with pytest.raises(RuntimeError):
+            pool.drop_all()
+
+
+class TestStats:
+    def test_hit_ratio(self):
+        _, pool = make_pool()
+        pool.get(0)
+        pool.get(0)
+        pool.get(0)
+        assert pool.stats.hit_ratio == pytest.approx(2 / 3)
+
+    def test_hit_ratio_empty(self):
+        _, pool = make_pool()
+        assert pool.stats.hit_ratio == 0.0

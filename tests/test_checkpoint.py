@@ -1,0 +1,245 @@
+"""Tests for geometric-file checkpoint / recovery."""
+
+import io
+import math
+
+import pytest
+
+from conftest import TEST_BLOCK, make_geometric_file, small_disk_params
+from repro.core.biased_file import BiasedGeometricFile
+from repro.core.checkpoint import load_geometric_file, save_geometric_file
+from repro.core.geometric_file import GeometricFile, GeometricFileConfig
+from repro.storage.device import SimulatedBlockDevice
+from repro.storage.records import Record
+
+
+def feed(gf, n, start=0):
+    for i in range(start, start + n):
+        gf.offer(Record(key=i, value=float(i), timestamp=float(i)))
+
+
+def round_trip(gf, weight_fn=None):
+    sink = io.StringIO()
+    save_geometric_file(gf, sink)
+    sink.seek(0)
+    device = SimulatedBlockDevice(gf.device.n_blocks, small_disk_params())
+    return load_geometric_file(sink, device, weight_fn=weight_fn)
+
+
+class TestRoundTrip:
+    def test_state_survives(self):
+        gf = make_geometric_file(capacity=500, buffer_capacity=50)
+        feed(gf, 2345)
+        restored = round_trip(gf)
+        assert restored.seen == gf.seen
+        assert restored.samples_added == gf.samples_added
+        assert restored.flushes == gf.flushes
+        assert restored.disk_size == gf.disk_size
+        assert restored.buffer.count == gf.buffer.count
+        restored.check_invariants()
+
+    def test_sample_contents_survive(self):
+        gf = make_geometric_file(capacity=500, buffer_capacity=50)
+        feed(gf, 2000)
+        restored = round_trip(gf)
+        original_keys = sorted(r.key for ledger in gf.subsamples
+                               for r in ledger.records)
+        restored_keys = sorted(r.key for ledger in restored.subsamples
+                               for r in ledger.records)
+        assert original_keys == restored_keys
+
+    def test_continuation_is_bit_identical(self):
+        """The restored file must make the same future decisions."""
+        gf = make_geometric_file(capacity=400, buffer_capacity=40)
+        feed(gf, 1234)
+        restored = round_trip(gf)
+        feed(gf, 1000, start=1234)
+        feed(restored, 1000, start=1234)
+        keys_a = sorted(r.key for r in gf.sample())
+        keys_b = sorted(r.key for r in restored.sample())
+        assert keys_a == keys_b
+        assert gf.flushes == restored.flushes
+        gf.check_invariants()
+        restored.check_invariants()
+
+    def test_mid_startup_checkpoint(self):
+        gf = make_geometric_file(capacity=1000, buffer_capacity=50)
+        feed(gf, 321)
+        restored = round_trip(gf)
+        assert restored.in_startup
+        feed(restored, 2000, start=321)
+        restored.check_invariants()
+        assert restored.disk_size == 1000
+
+    def test_count_only_checkpoint(self):
+        gf = make_geometric_file(capacity=500, buffer_capacity=50,
+                                 retain_records=False, admission="always")
+        gf.ingest(1777)
+        restored = round_trip(gf)
+        assert restored.disk_size == gf.disk_size
+        assert restored.buffer.count == gf.buffer.count
+        restored.ingest(1000)
+        restored.check_invariants()
+
+    def test_payloads_survive(self):
+        gf = make_geometric_file(capacity=100, buffer_capacity=10)
+        for i in range(100):
+            gf.offer(Record(key=i, payload=f"p{i}".encode()))
+        restored = round_trip(gf)
+        payloads = {r.key: r.payload for ledger in restored.subsamples
+                    for r in ledger.records}
+        assert payloads[42] == b"p42"
+
+
+class TestBiasedRoundTrip:
+    @staticmethod
+    def weight_fn(record):
+        return math.exp(record.timestamp / 500.0)
+
+    def make_biased(self):
+        config = GeometricFileConfig(
+            capacity=300, buffer_capacity=30, record_size=40,
+            retain_records=True, beta_records=4,
+        )
+        blocks = GeometricFile.required_blocks(config, TEST_BLOCK)
+        device = SimulatedBlockDevice(blocks, small_disk_params())
+        return BiasedGeometricFile(device, config, self.weight_fn, seed=0)
+
+    def test_biased_state_survives(self):
+        bf = self.make_biased()
+        feed(bf, 1500)
+        sink = io.StringIO()
+        save_geometric_file(bf, sink)
+        sink.seek(0)
+        device = SimulatedBlockDevice(bf.device.n_blocks,
+                                      small_disk_params())
+        restored = load_geometric_file(sink, device,
+                                       weight_fn=self.weight_fn)
+        assert isinstance(restored, BiasedGeometricFile)
+        assert restored.total_weight == pytest.approx(bf.total_weight)
+        assert restored.multipliers == bf.multipliers
+        original = sorted((r.key, w) for r, w in bf.items())
+        recovered = sorted((r.key, w) for r, w in restored.items())
+        assert original == recovered
+        restored.check_invariants()
+
+    def test_biased_restore_requires_weight_fn(self):
+        bf = self.make_biased()
+        feed(bf, 500)
+        sink = io.StringIO()
+        save_geometric_file(bf, sink)
+        sink.seek(0)
+        device = SimulatedBlockDevice(bf.device.n_blocks,
+                                      small_disk_params())
+        with pytest.raises(ValueError):
+            load_geometric_file(sink, device)
+
+
+class TestValidation:
+    def test_unknown_version_rejected(self):
+        gf = make_geometric_file(capacity=300, buffer_capacity=30)
+        feed(gf, 100)
+        sink = io.StringIO()
+        save_geometric_file(gf, sink)
+        text = sink.getvalue().replace('"version": 1', '"version": 99')
+        device = SimulatedBlockDevice(gf.device.n_blocks,
+                                      small_disk_params())
+        with pytest.raises(ValueError):
+            load_geometric_file(io.StringIO(text), device)
+
+    def test_unknown_kind_rejected(self):
+        gf = make_geometric_file(capacity=300, buffer_capacity=30)
+        feed(gf, 100)
+        sink = io.StringIO()
+        save_geometric_file(gf, sink)
+        text = sink.getvalue().replace('"GeometricFile"', '"Mystery"')
+        device = SimulatedBlockDevice(gf.device.n_blocks,
+                                      small_disk_params())
+        with pytest.raises(ValueError):
+            load_geometric_file(io.StringIO(text), device)
+
+
+class TestMultiFileRoundTrip:
+    def make_multi(self):
+        import conftest
+        return conftest.make_multi_file(capacity=600, buffer_capacity=60,
+                                        alpha_prime=0.6)
+
+    def test_multi_state_survives_and_continues_identically(self):
+        import io as _io
+
+        from repro.core.multi import MultipleGeometricFiles
+        from repro.storage.device import SimulatedBlockDevice
+        from conftest import small_disk_params
+
+        mf = self.make_multi()
+        feed(mf, 2500)
+        sink = _io.StringIO()
+        save_geometric_file(mf, sink)
+        sink.seek(0)
+        device = SimulatedBlockDevice(mf.device.n_blocks,
+                                      small_disk_params())
+        restored = load_geometric_file(sink, device)
+        assert isinstance(restored, MultipleGeometricFiles)
+        assert restored.n_files == mf.n_files
+        assert restored.disk_size == mf.disk_size
+        feed(mf, 1500, start=2500)
+        feed(restored, 1500, start=2500)
+        keys_a = sorted(r.key for r in mf.sample())
+        keys_b = sorted(r.key for r in restored.sample())
+        assert keys_a == keys_b
+        mf.check_invariants()
+        restored.check_invariants()
+
+    def test_multi_dummy_slots_restored(self):
+        import io as _io
+
+        from repro.storage.device import SimulatedBlockDevice
+        from conftest import small_disk_params
+
+        mf = self.make_multi()
+        feed(mf, 1800)
+        sink = _io.StringIO()
+        save_geometric_file(mf, sink)
+        sink.seek(0)
+        device = SimulatedBlockDevice(mf.device.n_blocks,
+                                      small_disk_params())
+        restored = load_geometric_file(sink, device)
+        for original, recovered in zip(mf.files, restored.files):
+            assert original.dummy_slots == recovered.dummy_slots
+
+
+class TestBiasedMultiRoundTrip:
+    @staticmethod
+    def weight_fn(record):
+        return 1.0 + record.timestamp / 1000.0
+
+    def test_biased_multi_survives_and_continues(self):
+        import io as _io
+
+        from repro.core.biased_file import BiasedMultipleGeometricFiles
+        from repro.core.multi import MultiFileConfig
+        from conftest import small_disk_params
+
+        config = MultiFileConfig(capacity=400, buffer_capacity=40,
+                                 record_size=40, retain_records=True,
+                                 beta_records=4, alpha_prime=0.6)
+        blocks = BiasedMultipleGeometricFiles.required_blocks(config,
+                                                              TEST_BLOCK)
+        device = SimulatedBlockDevice(blocks, small_disk_params())
+        bf = BiasedMultipleGeometricFiles(device, config, self.weight_fn,
+                                          seed=0)
+        feed(bf, 1800)
+        sink = _io.StringIO()
+        save_geometric_file(bf, sink)
+        sink.seek(0)
+        device2 = SimulatedBlockDevice(blocks, small_disk_params())
+        restored = load_geometric_file(sink, device2,
+                                       weight_fn=self.weight_fn)
+        assert isinstance(restored, BiasedMultipleGeometricFiles)
+        assert restored.total_weight == pytest.approx(bf.total_weight)
+        feed(bf, 600, start=1800)
+        feed(restored, 600, start=1800)
+        assert (sorted((r.key, w) for r, w in bf.items())
+                == sorted((r.key, w) for r, w in restored.items()))
+        restored.check_invariants()

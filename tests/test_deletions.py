@@ -1,0 +1,177 @@
+"""Tests for random-pairing sampling under deletions (Section 10)."""
+
+import collections
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sampling import RandomPairingReservoir
+from repro.storage.records import Record
+
+
+def rec(i):
+    return Record(key=i, value=float(i))
+
+
+class TestInsertOnly:
+    def test_degenerates_to_reservoir(self):
+        rp = RandomPairingReservoir(10, random.Random(0))
+        for i in range(100):
+            rp.insert(rec(i))
+        assert len(rp) == 10
+        assert rp.population == 100
+        rp.check_invariants()
+
+    def test_insert_only_uniformity(self):
+        trials, capacity, stream = 2000, 5, 40
+        counts = collections.Counter()
+        for t in range(trials):
+            rp = RandomPairingReservoir(capacity, random.Random(t))
+            for i in range(stream):
+                rp.insert(rec(i))
+            counts.update(r.key for r in rp)
+        expected = trials * capacity / stream
+        sigma = math.sqrt(trials * (capacity / stream))
+        for key in range(stream):
+            assert abs(counts[key] - expected) < 5 * sigma, key
+
+
+class TestDeletions:
+    def test_delete_resident_record(self):
+        rp = RandomPairingReservoir(10, random.Random(0),
+                                    track_population=True)
+        for i in range(10):
+            rp.insert(rec(i))
+        assert rp.delete(3) is True
+        assert 3 not in rp
+        assert rp.c_in == 1
+        rp.check_invariants()
+
+    def test_delete_nonresident_record(self):
+        rp = RandomPairingReservoir(5, random.Random(0),
+                                    track_population=True)
+        for i in range(100):
+            rp.insert(rec(i))
+        non_resident = next(k for k in range(100) if k not in rp)
+        assert rp.delete(non_resident) is False
+        assert rp.c_out == 1
+        rp.check_invariants()
+
+    def test_compensation_refills_the_sample(self):
+        rp = RandomPairingReservoir(10, random.Random(1),
+                                    track_population=True)
+        for i in range(50):
+            rp.insert(rec(i))
+        resident = list(rp)[:4]
+        for r in resident:
+            rp.delete(r.key)
+        assert len(rp) == 6
+        for i in range(50, 80):
+            rp.insert(rec(i))
+        assert len(rp) == 10  # compensations restored full size
+        assert rp.outstanding_deletions == 0
+        rp.check_invariants()
+
+    def test_delete_unknown_key_raises_when_tracking(self):
+        rp = RandomPairingReservoir(5, random.Random(0),
+                                    track_population=True)
+        rp.insert(rec(0))
+        with pytest.raises(ValueError):
+            rp.delete(99)
+
+    def test_delete_from_empty_population(self):
+        rp = RandomPairingReservoir(5)
+        with pytest.raises(ValueError):
+            rp.delete(0)
+
+    def test_duplicate_insert_raises_when_tracking(self):
+        rp = RandomPairingReservoir(5, track_population=True)
+        rp.insert(rec(0))
+        with pytest.raises(ValueError):
+            rp.insert(rec(0))
+
+    def test_apply_batches(self):
+        rp = RandomPairingReservoir(5, random.Random(0),
+                                    track_population=True)
+        rp.apply([("insert", rec(i)) for i in range(10)])
+        rp.apply([("delete", 0), ("insert", rec(10))])
+        assert rp.population == 10
+        with pytest.raises(ValueError):
+            rp.apply([("upsert", rec(11))])
+
+
+class TestUniformityUnderChurn:
+    def test_uniform_over_survivors(self):
+        """After a mixed insert/delete workload, every *live* record is
+        resident with probability |S| / population."""
+        trials, capacity = 2500, 6
+        counts = collections.Counter()
+        sample_sizes = []
+        live_keys = None
+        for t in range(trials):
+            rng = random.Random(t)
+            rp = RandomPairingReservoir(capacity, rng,
+                                        track_population=True)
+            # Insert 0..39, delete every multiple of 3, insert 40..59.
+            for i in range(40):
+                rp.insert(rec(i))
+            for i in range(0, 40, 3):
+                rp.delete(i)
+            for i in range(40, 60):
+                rp.insert(rec(i))
+            rp.check_invariants()
+            live_keys = sorted(rp._live_keys)
+            counts.update(r.key for r in rp)
+            sample_sizes.append(len(rp))
+        population = len(live_keys)
+        mean_size = sum(sample_sizes) / trials
+        expected = trials * mean_size / population
+        sigma = math.sqrt(trials * (mean_size / population))
+        for key in live_keys:
+            assert abs(counts[key] - expected) < 5 * sigma, key
+        # Deleted keys never appear.
+        for key in range(0, 40, 3):
+            assert counts[key] == 0
+
+    def test_heavy_churn_keeps_invariants(self):
+        rng = random.Random(9)
+        rp = RandomPairingReservoir(20, rng, track_population=True)
+        next_key = 0
+        live = []
+        for step in range(5000):
+            if live and rng.random() < 0.45:
+                victim = live.pop(rng.randrange(len(live)))
+                rp.delete(victim)
+            else:
+                rp.insert(rec(next_key))
+                live.append(next_key)
+                next_key += 1
+            if step % 500 == 0:
+                rp.check_invariants()
+        rp.check_invariants()
+        assert rp.population == len(live)
+
+
+@given(seed=st.integers(0, 10 ** 6), steps=st.integers(1, 300),
+       capacity=st.integers(1, 15))
+@settings(max_examples=100, deadline=None)
+def test_invariants_property(seed, steps, capacity):
+    """Random workloads never violate the structural invariants."""
+    rng = random.Random(seed)
+    rp = RandomPairingReservoir(capacity, rng, track_population=True)
+    live = []
+    next_key = 0
+    for _ in range(steps):
+        if live and rng.random() < 0.5:
+            victim = live.pop(rng.randrange(len(live)))
+            rp.delete(victim)
+        else:
+            rp.insert(rec(next_key))
+            live.append(next_key)
+            next_key += 1
+        rp.check_invariants()
+    assert rp.population == len(live)
+    assert {r.key for r in rp} <= set(live)

@@ -1,0 +1,164 @@
+"""Unit tests for the block devices."""
+
+import os
+
+import pytest
+
+from repro.storage.device import (
+    BlockDevice,
+    FileBlockDevice,
+    MemoryBlockDevice,
+    SimulatedBlockDevice,
+    read_discard,
+    write_zeros,
+)
+from repro.storage.disk_model import DiskModel, DiskParameters
+
+
+class TestMemoryBlockDevice:
+    def test_round_trip(self):
+        dev = MemoryBlockDevice(8, block_size=64)
+        payload = bytes(range(64)) * 2
+        dev.write_blocks(3, payload)
+        assert dev.read_blocks(3, 2) == payload
+
+    def test_fresh_blocks_read_as_zeros(self):
+        dev = MemoryBlockDevice(4, block_size=32)
+        assert dev.read_blocks(0, 1) == b"\x00" * 32
+
+    def test_rejects_partial_block_write(self):
+        dev = MemoryBlockDevice(4, block_size=32)
+        with pytest.raises(ValueError):
+            dev.write_blocks(0, b"abc")
+
+    def test_rejects_out_of_range(self):
+        dev = MemoryBlockDevice(4, block_size=32)
+        with pytest.raises(ValueError):
+            dev.read_blocks(3, 2)
+        with pytest.raises(ValueError):
+            dev.write_blocks(4, b"\x00" * 32)
+
+    def test_rejects_empty_device(self):
+        with pytest.raises(ValueError):
+            MemoryBlockDevice(0)
+
+    def test_satisfies_protocol(self):
+        assert isinstance(MemoryBlockDevice(1), BlockDevice)
+
+
+class TestSimulatedBlockDevice:
+    def test_charges_the_model(self):
+        dev = SimulatedBlockDevice(16, DiskParameters(block_size=1024))
+        dev.write_blocks(0, b"\x00" * 2048)
+        dev.read_blocks(5, 1)
+        assert dev.model.stats.seeks == 2
+        assert dev.model.stats.blocks_written == 2
+        assert dev.clock > 0
+
+    def test_without_retention_reads_return_zeros(self):
+        dev = SimulatedBlockDevice(4, DiskParameters(block_size=1024))
+        dev.write_blocks(0, b"\xff" * 1024)
+        assert dev.read_blocks(0, 1) == b"\x00" * 1024
+
+    def test_with_retention_round_trips(self):
+        dev = SimulatedBlockDevice(4, DiskParameters(block_size=1024),
+                                   retain_data=True)
+        dev.write_blocks(1, b"\xab" * 1024)
+        assert dev.read_blocks(1, 1) == b"\xab" * 1024
+
+    def test_shared_model_accumulates_across_devices(self):
+        model = DiskModel(DiskParameters(block_size=1024))
+        a = SimulatedBlockDevice(4, model=model)
+        b = SimulatedBlockDevice(4, model=model)
+        a.write_blocks(0, b"\x00" * 1024)
+        b.write_blocks(0, b"\x00" * 1024)
+        assert model.stats.writes == 2
+
+    def test_params_and_model_are_mutually_exclusive(self):
+        model = DiskModel()
+        with pytest.raises(ValueError):
+            SimulatedBlockDevice(4, DiskParameters(), model=model)
+
+    def test_range_checks(self):
+        dev = SimulatedBlockDevice(4, DiskParameters(block_size=1024))
+        with pytest.raises(ValueError):
+            dev.read_blocks(4, 1)
+
+    def test_charge_write_fast_path(self):
+        dev = SimulatedBlockDevice(8, DiskParameters(block_size=1024))
+        assert dev.charge_write(0, 8) is True
+        assert dev.model.stats.blocks_written == 8
+
+    def test_charge_write_declines_with_retention(self):
+        dev = SimulatedBlockDevice(8, DiskParameters(block_size=1024),
+                                   retain_data=True)
+        assert dev.charge_write(0, 8) is False
+
+    def test_satisfies_protocol(self):
+        assert isinstance(SimulatedBlockDevice(1), BlockDevice)
+
+
+class TestWriteZerosHelper:
+    def test_simulated_fast_path(self):
+        dev = SimulatedBlockDevice(1000, DiskParameters(block_size=1024))
+        write_zeros(dev, 0, 1000)
+        assert dev.model.stats.blocks_written == 1000
+        assert dev.model.stats.seeks == 1  # one contiguous burst
+
+    def test_memory_device_really_zeroes(self):
+        dev = MemoryBlockDevice(4, block_size=32)
+        dev.write_blocks(1, b"\xff" * 32)
+        write_zeros(dev, 0, 4)
+        assert dev.read_blocks(1, 1) == b"\x00" * 32
+
+    def test_retaining_simulated_device_zeroes_too(self):
+        dev = SimulatedBlockDevice(4, DiskParameters(block_size=1024),
+                                   retain_data=True)
+        dev.write_blocks(0, b"\xff" * 1024)
+        write_zeros(dev, 0, 1)
+        assert dev.read_blocks(0, 1) == b"\x00" * 1024
+
+    def test_read_discard_charges(self):
+        dev = SimulatedBlockDevice(100, DiskParameters(block_size=1024))
+        read_discard(dev, 0, 100)
+        assert dev.model.stats.blocks_read == 100
+
+
+class TestFileBlockDevice:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "dev.bin"
+        with FileBlockDevice(path, 8, block_size=64) as dev:
+            dev.write_blocks(2, b"\x11" * 128)
+            assert dev.read_blocks(2, 2) == b"\x11" * 128
+
+    def test_persists_across_reopen(self, tmp_path):
+        path = tmp_path / "dev.bin"
+        with FileBlockDevice(path, 8, block_size=64) as dev:
+            dev.write_blocks(0, b"\x42" * 64)
+            dev.sync()
+        with FileBlockDevice(path, 8, block_size=64) as dev:
+            assert dev.read_blocks(0, 1) == b"\x42" * 64
+
+    def test_file_sized_on_creation(self, tmp_path):
+        path = tmp_path / "dev.bin"
+        with FileBlockDevice(path, 10, block_size=128):
+            pass
+        assert os.path.getsize(path) == 10 * 128
+
+    def test_unwritten_blocks_read_as_zeros(self, tmp_path):
+        with FileBlockDevice(tmp_path / "d.bin", 4, block_size=64) as dev:
+            assert dev.read_blocks(3, 1) == b"\x00" * 64
+
+    def test_range_checks(self, tmp_path):
+        with FileBlockDevice(tmp_path / "d.bin", 4, block_size=64) as dev:
+            with pytest.raises(ValueError):
+                dev.write_blocks(3, b"\x00" * 128)
+
+    def test_close_is_idempotent(self, tmp_path):
+        dev = FileBlockDevice(tmp_path / "d.bin", 4, block_size=64)
+        dev.close()
+        dev.close()
+
+    def test_satisfies_protocol(self, tmp_path):
+        with FileBlockDevice(tmp_path / "d.bin", 1) as dev:
+            assert isinstance(dev, BlockDevice)

@@ -1,0 +1,153 @@
+"""Unit tests for the analytical disk model."""
+
+import pytest
+
+from repro.storage.disk_model import DiskModel, DiskParameters, DiskStats
+
+
+class TestDiskParameters:
+    def test_defaults_match_the_paper(self):
+        p = DiskParameters()
+        assert p.seek_time == pytest.approx(0.010)
+        assert p.transfer_rate == 40 * 1024 * 1024
+        assert p.block_size == 32 * 1024
+
+    def test_block_transfer_time(self):
+        p = DiskParameters(transfer_rate=1024, block_size=512)
+        assert p.block_transfer_time == pytest.approx(0.5)
+
+    @pytest.mark.parametrize("field,value", [
+        ("seek_time", -0.001),
+        ("transfer_rate", 0),
+        ("transfer_rate", -5),
+        ("block_size", 0),
+        ("settle_time", -1.0),
+    ])
+    def test_rejects_bad_values(self, field, value):
+        kwargs = {field: value}
+        with pytest.raises(ValueError):
+            DiskParameters(**kwargs)
+
+
+class TestDiskModelAccounting:
+    def setup_method(self):
+        self.params = DiskParameters(seek_time=0.01,
+                                     transfer_rate=1024 * 1024,
+                                     block_size=1024)
+        self.model = DiskModel(self.params)
+
+    def test_first_access_pays_a_seek(self):
+        elapsed = self.model.read(0, 1)
+        assert self.model.stats.seeks == 1
+        assert elapsed == pytest.approx(0.01 + 1024 / (1024 * 1024))
+
+    def test_sequential_continuation_is_free_of_seeks(self):
+        self.model.write(0, 4)
+        self.model.write(4, 4)  # continues where the head stopped
+        assert self.model.stats.seeks == 1
+        assert self.model.stats.sequential_blocks == 4
+
+    def test_non_contiguous_access_seeks_again(self):
+        self.model.write(0, 4)
+        self.model.write(5, 1)
+        assert self.model.stats.seeks == 2
+
+    def test_backward_access_seeks(self):
+        self.model.write(10, 2)
+        self.model.write(0, 2)
+        assert self.model.stats.seeks == 2
+
+    def test_read_after_write_at_head_is_sequential(self):
+        self.model.write(0, 3)
+        self.model.read(3, 2)
+        assert self.model.stats.seeks == 1
+
+    def test_clock_accumulates(self):
+        self.model.write(0, 1)
+        self.model.write(100, 1)
+        expected = 2 * 0.01 + 2 * (1024 / (1024 * 1024))
+        assert self.model.clock == pytest.approx(expected)
+
+    def test_head_position_tracks_end_of_access(self):
+        assert self.model.head_position is None
+        self.model.read(7, 3)
+        assert self.model.head_position == 10
+
+    def test_read_write_counters(self):
+        self.model.read(0, 2)
+        self.model.write(2, 3)
+        stats = self.model.stats
+        assert stats.reads == 1 and stats.writes == 1
+        assert stats.blocks_read == 2 and stats.blocks_written == 3
+
+    def test_charge_seek_forgets_head(self):
+        self.model.write(0, 1)
+        self.model.charge_seek()
+        self.model.write(1, 1)  # would have been sequential
+        assert self.model.stats.seeks == 3
+
+    def test_idle_advances_clock_without_io(self):
+        self.model.idle(1.5)
+        assert self.model.clock == pytest.approx(1.5)
+        assert self.model.stats.seeks == 0
+
+    def test_idle_rejects_negative(self):
+        with pytest.raises(ValueError):
+            self.model.idle(-1.0)
+
+    def test_reset_clears_everything(self):
+        self.model.write(0, 5)
+        self.model.reset()
+        assert self.model.clock == 0.0
+        assert self.model.stats.seeks == 0
+        assert self.model.head_position is None
+
+    @pytest.mark.parametrize("block,n", [(-1, 1), (0, 0), (3, -2)])
+    def test_rejects_bad_access(self, block, n):
+        with pytest.raises(ValueError):
+            self.model.access(block, n, write=False)
+
+    def test_settle_time_charged_per_access(self):
+        model = DiskModel(DiskParameters(seek_time=0.0, settle_time=0.002,
+                                         transfer_rate=1024 * 1024,
+                                         block_size=1024))
+        model.write(0, 1)
+        model.write(1, 1)
+        assert model.clock == pytest.approx(2 * 0.002
+                                            + 2 * 1024 / (1024 * 1024))
+
+
+class TestDiskStats:
+    def test_sequential_ratio_empty_is_one(self):
+        assert DiskStats().sequential_ratio == 1.0
+
+    def test_sequential_ratio(self):
+        model = DiskModel(DiskParameters(block_size=1024))
+        model.write(0, 2)
+        model.write(2, 2)
+        # 4 blocks total, 2 of them sequential continuations
+        assert model.stats.sequential_ratio == pytest.approx(0.5)
+
+    def test_random_io_fraction_empty_is_zero(self):
+        assert DiskStats().random_io_fraction == 0.0
+
+    def test_random_io_fraction(self):
+        params = DiskParameters(seek_time=1.0, transfer_rate=1024,
+                                block_size=1024)
+        model = DiskModel(params)
+        model.write(0, 1)  # 1s seek + 1s transfer
+        assert model.stats.random_io_fraction == pytest.approx(0.5)
+
+    def test_snapshot_is_independent(self):
+        model = DiskModel()
+        model.write(0, 1)
+        snap = model.stats.snapshot()
+        model.write(100, 1)
+        assert snap.seeks == 1
+        assert model.stats.seeks == 2
+
+    def test_total_blocks(self):
+        model = DiskModel(DiskParameters(block_size=1024))
+        model.read(0, 3)
+        model.write(3, 2)
+        assert model.stats.total_blocks == 5

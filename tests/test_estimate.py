@@ -1,0 +1,308 @@
+"""Tests for the estimation layer (CLT, bounds, estimators, AQP)."""
+
+import math
+import random
+import statistics
+
+import pytest
+import scipy.stats
+
+from repro.estimate import (
+    ConfidenceInterval,
+    SampleQuery,
+    achieved_confidence,
+    chebyshev_bound,
+    chebyshev_sample_size,
+    chernoff_bound_binomial,
+    chernoff_sample_size_binomial,
+    estimate_avg,
+    estimate_count,
+    estimate_mean,
+    estimate_sum,
+    hoeffding_bound,
+    hoeffding_sample_size,
+    horvitz_thompson_sum,
+    mean_confidence_interval,
+    normal_cdf,
+    normal_quantile,
+    relative_error,
+    required_sample_size,
+)
+from repro.storage.records import Record
+
+
+class TestNormalFunctions:
+    @pytest.mark.parametrize("p", [0.001, 0.01, 0.1, 0.25, 0.5, 0.75,
+                                   0.9, 0.975, 0.999, 0.9999999])
+    def test_quantile_matches_scipy(self, p):
+        assert normal_quantile(p) == pytest.approx(
+            scipy.stats.norm.ppf(p), abs=1e-6
+        )
+
+    @pytest.mark.parametrize("x", [-4.0, -1.0, 0.0, 0.5, 2.0, 6.0])
+    def test_cdf_matches_scipy(self, x):
+        assert normal_cdf(x) == pytest.approx(scipy.stats.norm.cdf(x),
+                                              abs=1e-12)
+
+    def test_quantile_symmetry(self):
+        assert normal_quantile(0.25) == pytest.approx(
+            -normal_quantile(0.75), abs=1e-9
+        )
+
+    @pytest.mark.parametrize("p", [0.0, 1.0, -0.1, 1.1])
+    def test_quantile_domain(self, p):
+        with pytest.raises(ValueError):
+            normal_quantile(p)
+
+
+class TestSection2SampleSizes:
+    def test_student_age_example(self):
+        """~100 students suffice for 2.5% error at ~98% confidence."""
+        n = required_sample_size(std=2.0, mean=20.0, relative_error=0.025,
+                                 confidence=0.98)
+        assert 80 <= n <= 100
+
+    def test_net_worth_example(self):
+        """'More than 12 million samples to achieve the same
+        statistical guarantees as in the first case.'
+
+        "The same guarantees" are what 100 students actually deliver:
+        2.5% error at confidence 2*Phi(2.5) - 1 ~ 98.76%, i.e. z = 2.5.
+        """
+        confidence = achieved_confidence(std=2.0, mean=20.0,
+                                         relative_error=0.025,
+                                         sample_size=100)
+        assert confidence == pytest.approx(0.9876, abs=0.001)
+        n = required_sample_size(std=5_000_000.0, mean=140_000.0,
+                                 relative_error=0.025,
+                                 confidence=confidence)
+        assert n > 12_000_000
+        assert n < 14_000_000
+
+    def test_quadratic_growth_in_cv(self):
+        """Section 2: required size grows as the square of the std."""
+        base = required_sample_size(1.0, 10.0, 0.01, 0.95)
+        quadrupled = required_sample_size(2.0, 10.0, 0.01, 0.95)
+        assert quadrupled == pytest.approx(4 * base, rel=0.01)
+
+    def test_achieved_confidence_inverts(self):
+        n = required_sample_size(2.0, 20.0, 0.025, 0.98)
+        achieved = achieved_confidence(2.0, 20.0, 0.025, n)
+        assert achieved >= 0.98
+        assert achieved_confidence(2.0, 20.0, 0.025, n // 2) < 0.98
+
+    def test_zero_std_is_always_confident(self):
+        assert achieved_confidence(0.0, 10.0, 0.01, 1) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            required_sample_size(1.0, 0.0, 0.01, 0.95)
+        with pytest.raises(ValueError):
+            required_sample_size(-1.0, 1.0, 0.01, 0.95)
+        with pytest.raises(ValueError):
+            required_sample_size(1.0, 1.0, 0.01, 1.5)
+
+    def test_empirical_coverage(self):
+        """The CLT sample size really does deliver its confidence."""
+        n = required_sample_size(std=1.0, mean=5.0, relative_error=0.05,
+                                 confidence=0.9)
+        rng = random.Random(0)
+        hits = 0
+        trials = 400
+        for _ in range(trials):
+            sample = [rng.gauss(5.0, 1.0) for _ in range(n)]
+            if abs(statistics.mean(sample) - 5.0) <= 0.05 * 5.0:
+                hits += 1
+        assert hits / trials >= 0.85
+
+
+class TestBounds:
+    def test_chebyshev_monotone_in_n(self):
+        assert chebyshev_bound(1.0, 100, 0.1) > chebyshev_bound(1.0, 1000,
+                                                                0.1)
+
+    def test_chebyshev_sample_size_inverts(self):
+        n = chebyshev_sample_size(1.0, 0.1, 0.05)
+        assert chebyshev_bound(1.0, n, 0.1) <= 0.05
+
+    def test_hoeffding_tighter_than_chebyshev_for_bounded(self):
+        # Values in [0, 1]: std <= 0.5.
+        cheb = chebyshev_sample_size(0.5, 0.05, 0.01)
+        hoef = hoeffding_sample_size(1.0, 0.05, 0.01)
+        assert hoef < cheb
+
+    def test_hoeffding_sample_size_inverts(self):
+        n = hoeffding_sample_size(1.0, 0.05, 0.01)
+        assert hoeffding_bound(1.0, n, 0.05) <= 0.0101
+
+    def test_chernoff_sample_size_inverts(self):
+        n = chernoff_sample_size_binomial(0.1, 0.2, 0.01)
+        assert chernoff_bound_binomial(0.1, n, 0.2) <= 0.0101
+
+    def test_bounds_capped_at_one(self):
+        assert chebyshev_bound(10.0, 1, 0.001) == 1.0
+        assert hoeffding_bound(1.0, 1, 1e-9) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chebyshev_bound(1.0, 0, 0.1)
+        with pytest.raises(ValueError):
+            hoeffding_bound(0.0, 10, 0.1)
+        with pytest.raises(ValueError):
+            chernoff_bound_binomial(0.0, 10, 0.1)
+
+
+class TestEstimators:
+    def test_mean_estimate(self):
+        est = estimate_mean([1.0, 2.0, 3.0, 4.0])
+        assert est.value == pytest.approx(2.5)
+        assert est.standard_error == pytest.approx(
+            statistics.stdev([1, 2, 3, 4]) / 2
+        )
+
+    def test_sum_scales_by_population(self):
+        est = estimate_sum([1.0, 2.0, 3.0], population_size=300)
+        assert est.value == pytest.approx(600.0)
+
+    def test_sum_fpc_shrinks_error_for_big_samples(self):
+        small = estimate_sum([1.0, 2.0, 3.0, 4.0] * 10, 10_000)
+        census_like = estimate_sum([1.0, 2.0, 3.0, 4.0] * 10, 41)
+        assert census_like.standard_error < small.standard_error
+
+    def test_count_estimate(self):
+        records = [Record(key=i, value=float(i)) for i in range(100)]
+        est = estimate_count(records, 100_000, lambda r: r.value < 50)
+        assert est.value == pytest.approx(50_000.0)
+
+    def test_avg_with_predicate(self):
+        records = [Record(key=i, value=float(i)) for i in range(100)]
+        est = estimate_avg(records, predicate=lambda r: r.key < 10)
+        assert est.value == pytest.approx(4.5)
+
+    def test_interval_contains_truth_usually(self):
+        rng = random.Random(1)
+        hits = 0
+        for _ in range(300):
+            sample = [rng.gauss(10.0, 3.0) for _ in range(100)]
+            if estimate_mean(sample).interval(0.95).contains(10.0):
+                hits += 1
+        assert hits / 300 >= 0.9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_mean([1.0])
+        with pytest.raises(ValueError):
+            estimate_sum([1.0, 2.0], population_size=1)
+
+
+class TestHorvitzThompson:
+    def test_exact_for_full_inclusion(self):
+        """When every pi is 1, HT reduces to the plain sum."""
+        items = [(Record(key=i, value=2.0), 1.0) for i in range(10)]
+        est = horvitz_thompson_sum(items, total_weight=10.0,
+                                   sample_capacity=10)
+        assert est.value == pytest.approx(20.0)
+
+    def test_unbiased_under_bernoulli_sampling(self):
+        """Monte Carlo unbiasedness with heterogeneous weights."""
+        rng = random.Random(2)
+        population = [(Record(key=i, value=1.0),
+                       2.0 if i % 3 == 0 else 1.0) for i in range(300)]
+        total_weight = sum(w for _, w in population)
+        capacity = 30
+        estimates = []
+        for _ in range(400):
+            sample = [(r, w) for r, w in population
+                      if rng.random() < capacity * w / total_weight]
+            est = horvitz_thompson_sum(sample, total_weight, capacity,
+                                       value=lambda r: r.value)
+            estimates.append(est.value)
+        assert statistics.mean(estimates) == pytest.approx(300.0, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            horvitz_thompson_sum([], total_weight=0.0, sample_capacity=5)
+        with pytest.raises(ValueError):
+            horvitz_thompson_sum([(Record(key=0), -1.0)],
+                                 total_weight=1.0, sample_capacity=5)
+
+
+class TestSampleQuery:
+    def make_query(self, n=1000):
+        records = [Record(key=i, value=float(i % 10),
+                          timestamp=float(i)) for i in range(n)]
+        return SampleQuery(records, population_size=n * 100)
+
+    def test_avg(self):
+        assert self.make_query().avg().value == pytest.approx(4.5)
+
+    def test_sum(self):
+        q = self.make_query()
+        assert q.sum().value == pytest.approx(4.5 * 100_000)
+
+    def test_count_with_predicate(self):
+        q = self.make_query()
+        est = q.count(lambda r: r.value == 0.0)
+        assert est.value == pytest.approx(10_000.0, rel=0.01)
+
+    def test_filter_then_aggregate(self):
+        q = self.make_query().filter(lambda r: r.value < 5.0)
+        assert len(q) == 500
+        assert q.avg().value == pytest.approx(2.0)
+
+    def test_group_by_avg(self):
+        groups = self.make_query().group_by(lambda r: int(r.value))
+        assert len(groups) == 10
+        for g in groups:
+            assert g.estimate.value == pytest.approx(float(g.key))
+
+    def test_group_by_count(self):
+        groups = self.make_query().group_by(lambda r: int(r.value),
+                                            aggregate="count")
+        for g in groups:
+            assert g.estimate.value == pytest.approx(10_000.0)
+
+    def test_group_by_drops_tiny_groups(self):
+        records = [Record(key=i, value=0.0) for i in range(50)]
+        records.append(Record(key=99, value=1.0))  # a singleton group
+        q = SampleQuery(records, population_size=1000)
+        groups = q.group_by(lambda r: r.value)
+        assert [g.key for g in groups] == [0.0]
+
+    def test_sum_requires_population(self):
+        q = SampleQuery([Record(key=0, value=1.0),
+                         Record(key=1, value=2.0)])
+        with pytest.raises(ValueError):
+            q.sum()
+        q.avg()  # fine without a population
+
+    def test_unknown_aggregate(self):
+        with pytest.raises(ValueError):
+            self.make_query().group_by(lambda r: r.key, aggregate="median")
+
+    def test_error_shrinks_with_sample_size(self):
+        """Section 2's core message, empirically."""
+        rng = random.Random(3)
+        big = [Record(key=i, value=rng.gauss(0, 1)) for i in range(4000)]
+        small_q = SampleQuery(big[:100])
+        big_q = SampleQuery(big)
+        assert (big_q.avg().standard_error
+                < small_q.avg().standard_error / 4)
+
+
+class TestHelpers:
+    def test_relative_error(self):
+        assert relative_error(110.0, 100.0) == pytest.approx(0.1)
+        assert relative_error(0.0, 0.0) == 0.0
+        assert relative_error(1.0, 0.0) == math.inf
+
+    def test_confidence_interval(self):
+        ci = ConfidenceInterval(10.0, 2.0, 0.95)
+        assert ci.low == 8.0 and ci.high == 12.0
+        assert ci.contains(9.0) and not ci.contains(13.0)
+
+    def test_mean_confidence_interval(self):
+        ci = mean_confidence_interval([1.0, 2.0, 3.0, 4.0, 5.0], 0.95)
+        assert ci.contains(3.0)
+        with pytest.raises(ValueError):
+            mean_confidence_interval([1.0])

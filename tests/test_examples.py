@@ -1,0 +1,29 @@
+"""Smoke tests: every shipped example must run end to end.
+
+Examples honour REPRO_EXAMPLE_QUICK=1 (a ~50x smaller workload with the
+same code paths), so this entire module runs in seconds.
+"""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parent.parent / "examples")
+    .glob("*.py")
+)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path):
+    env = dict(os.environ, REPRO_EXAMPLE_QUICK="1")
+    args = [sys.executable, str(path)]
+    if path.stem == "compare_alternatives":
+        args += ["--scale", "2000"]
+    result = subprocess.run(args, env=env, capture_output=True,
+                            text=True, timeout=300)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "examples must narrate their output"

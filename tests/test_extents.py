@@ -1,0 +1,69 @@
+"""Unit tests for extent allocation."""
+
+import pytest
+
+from repro.storage.extents import Extent, ExtentAllocator
+
+
+class TestExtent:
+    def test_end(self):
+        assert Extent(10, 5).end == 15
+
+    def test_overlap_detection(self):
+        a = Extent(0, 10)
+        assert a.overlaps(Extent(9, 5))
+        assert not a.overlaps(Extent(10, 5))
+        assert Extent(3, 2).overlaps(a)
+
+    def test_zero_length_extents_never_overlap(self):
+        assert not Extent(5, 0).overlaps(Extent(0, 10))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Extent(-1, 5)
+        with pytest.raises(ValueError):
+            Extent(0, -5)
+
+
+class TestExtentAllocator:
+    def test_bump_allocation(self):
+        alloc = ExtentAllocator(100)
+        a = alloc.allocate(30, "a")
+        b = alloc.allocate(20, "b")
+        assert (a.start, a.n_blocks) == (0, 30)
+        assert (b.start, b.n_blocks) == (30, 20)
+        assert alloc.allocated_blocks == 50
+        assert alloc.remaining_blocks == 50
+
+    def test_first_block_offset(self):
+        alloc = ExtentAllocator(10, first_block=90)
+        extent = alloc.allocate(10)
+        assert extent.start == 90 and extent.end == 100
+
+    def test_out_of_space(self):
+        alloc = ExtentAllocator(10)
+        alloc.allocate(8)
+        with pytest.raises(ValueError):
+            alloc.allocate(3)
+
+    def test_labels_preserved(self):
+        alloc = ExtentAllocator(10)
+        extent = alloc.allocate(4, label="LIFO stacks")
+        assert extent.label == "LIFO stacks"
+        assert alloc.extents[0] is extent
+
+    def test_verify_disjoint_passes(self):
+        alloc = ExtentAllocator(100)
+        for _ in range(5):
+            alloc.allocate(20)
+        alloc.verify_disjoint()
+
+    def test_negative_allocation_rejected(self):
+        with pytest.raises(ValueError):
+            ExtentAllocator(10).allocate(-1)
+
+    def test_zero_allocation_allowed(self):
+        alloc = ExtentAllocator(10)
+        extent = alloc.allocate(0)
+        assert extent.n_blocks == 0
+        assert alloc.remaining_blocks == 10

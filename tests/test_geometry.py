@@ -1,0 +1,196 @@
+"""Unit tests for the geometric-series arithmetic (paper Sections 4.2, 5)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.geometry import (
+    alpha_for,
+    build_ladder,
+    effective_alpha,
+    file_count_for,
+    geometric_sum,
+    geometric_tail_start,
+    geometric_total,
+    segments_on_disk,
+    startup_fill_sizes,
+)
+
+
+class TestObservations:
+    """The paper's Observations 1-3 against brute-force summation."""
+
+    @pytest.mark.parametrize("n,alpha,m", [(10.0, 0.8, 5), (3.0, 0.5, 0),
+                                           (1.0, 0.99, 100),
+                                           (7.5, 0.1, 3)])
+    def test_observation_1_finite_sum(self, n, alpha, m):
+        brute = sum(n * alpha ** i for i in range(m + 1))
+        assert geometric_sum(n, alpha, m) == pytest.approx(brute)
+
+    def test_observation_1_bathtub_example(self):
+        """10 gallons, alpha=0.8: scoops of 2, 1.6, 1.28, ..."""
+        assert geometric_sum(2.0, 0.8, 0) == pytest.approx(2.0)
+        assert geometric_sum(2.0, 0.8, 1) == pytest.approx(3.6)
+        assert geometric_sum(2.0, 0.8, 2) == pytest.approx(4.88)
+
+    @pytest.mark.parametrize("n,alpha", [(2.0, 0.8), (1.0, 0.99),
+                                         (5.0, 0.5)])
+    def test_observation_2_infinite_sum(self, n, alpha):
+        brute = sum(n * alpha ** i for i in range(10000))
+        assert geometric_total(n, alpha) == pytest.approx(brute, rel=1e-6)
+
+    def test_observation_2_bathtub_total(self):
+        # Scoops of n=2 with alpha=0.8 eventually drain all 10 gallons.
+        assert geometric_total(2.0, 0.8) == pytest.approx(10.0)
+
+    def test_observation_3_tail_start(self):
+        n, alpha, beta = 2.0, 0.8, 1.0
+        j = geometric_tail_start(n, alpha, beta)
+        tail = n * alpha ** j / (1 - alpha)
+        tail_next = n * alpha ** (j + 1) / (1 - alpha)
+        assert tail >= beta > tail_next
+
+    def test_observation_3_large_beta_gives_zero(self):
+        assert geometric_tail_start(2.0, 0.8, 100.0) == 0
+
+    @pytest.mark.parametrize("bad_alpha", [0.0, 1.0, -0.5, 1.5])
+    def test_alpha_range_enforced(self, bad_alpha):
+        with pytest.raises(ValueError):
+            geometric_sum(1.0, bad_alpha, 1)
+        with pytest.raises(ValueError):
+            geometric_total(1.0, bad_alpha)
+
+
+class TestPaperNumbers:
+    """The worked examples of Section 5.1 / 5.2, exactly."""
+
+    def test_alpha_099_gives_1029_segments(self):
+        # 1 GB buffer of 100 B records, beta = 320 records (32 KB).
+        assert segments_on_disk(10 ** 7, 0.99, 320) == 1029
+
+    def test_alpha_0999_gives_10344_segments(self):
+        assert segments_on_disk(10 ** 7, 0.999, 320) == 10344
+
+    def test_beta_1mb_gives_687_segments(self):
+        # Section 5.2: 1 MB of 100 B records for beta -> 687 segments.
+        assert segments_on_disk(10 ** 7, 0.99, 10 ** 4) == 687
+
+    def test_section6_alpha_09_under_100_segments(self):
+        # "For alpha' = 0.9, we will need less than 100 segments per
+        # 1 GB buffer flush."
+        assert segments_on_disk(10 ** 7, 0.9, 320) < 100
+
+
+class TestLemma1:
+    def test_alpha_for_basic(self):
+        # B / (1 - alpha) = N  =>  alpha = 1 - B/N.
+        assert alpha_for(10 ** 9, 10 ** 7) == pytest.approx(0.99)
+
+    def test_alpha_for_validation(self):
+        with pytest.raises(ValueError):
+            alpha_for(100, 100)
+        with pytest.raises(ValueError):
+            alpha_for(100, 0)
+
+    def test_subsample_sizes_sum_to_reservoir(self):
+        """Lemma 1: sum over i of B * alpha^i = N."""
+        n_reservoir, buffer = 10 ** 6, 10 ** 4
+        alpha = alpha_for(n_reservoir, buffer)
+        total = geometric_total(buffer, alpha)
+        assert total == pytest.approx(n_reservoir)
+
+    def test_file_count_for(self):
+        assert file_count_for(0.99, 0.9) == 10
+        assert file_count_for(0.999, 0.9) == 100
+        assert file_count_for(0.99, 0.99) == 1
+
+    def test_file_count_validation(self):
+        with pytest.raises(ValueError):
+            file_count_for(0.9, 0.99)  # alpha' > alpha
+
+    def test_effective_alpha_inverts_file_count(self):
+        alpha = alpha_for(10 ** 6, 10 ** 4)
+        prime = effective_alpha(10 ** 6, 10 ** 4, 10)
+        assert prime == pytest.approx(1 - 10 * (1 - alpha))
+        assert file_count_for(alpha, prime) == 10
+
+    def test_effective_alpha_overstriping_rejected(self):
+        with pytest.raises(ValueError):
+            effective_alpha(1000, 100, 11)
+
+
+class TestLadders:
+    def test_sizes_decay_and_sum_exactly(self):
+        ladder = build_ladder(10000, 0.95, 100)
+        assert ladder.total == 10000
+        sizes = ladder.segment_sizes
+        # Cumulative rounding may wiggle by one record; the decay must
+        # still be monotone up to that quantisation.
+        assert all(b <= a + 1 for a, b in zip(sizes, sizes[1:]))
+        assert sizes[0] >= sizes[-1]
+        assert ladder.tail_size >= 100  # tail holds at least beta
+
+    def test_first_segment_close_to_n(self):
+        buffer, alpha = 10000, 0.9
+        ladder = build_ladder(buffer, alpha, 100)
+        assert ladder.segment_sizes[0] == pytest.approx(
+            buffer * (1 - alpha), abs=1
+        )
+
+    def test_size_below(self):
+        ladder = build_ladder(1000, 0.8, 50)
+        assert ladder.size_below(0) == 1000
+        assert ladder.size_below(1) == 1000 - ladder.segment_sizes[0]
+        assert ladder.size_below(ladder.n_disk_segments) == ladder.tail_size
+        with pytest.raises(ValueError):
+            ladder.size_below(-1)
+
+    def test_beta_larger_than_buffer_gives_pure_tail(self):
+        ladder = build_ladder(100, 0.9, 1000)
+        assert ladder.n_disk_segments == 0
+        assert ladder.tail_size == 100
+
+    @given(buffer=st.integers(10, 50000),
+           alpha=st.floats(0.05, 0.995),
+           beta=st.integers(1, 5000))
+    @settings(max_examples=200, deadline=None)
+    def test_ladder_partition_property(self, buffer, alpha, beta):
+        """Any ladder is an exact partition with non-negative parts."""
+        ladder = build_ladder(buffer, alpha, beta)
+        assert sum(ladder.segment_sizes) + ladder.tail_size == buffer
+        assert all(s > 0 for s in ladder.segment_sizes)
+        assert ladder.tail_size >= 0
+
+
+class TestStartupSchedule:
+    def test_sums_to_reservoir_exactly(self):
+        sizes = startup_fill_sizes(10 ** 5, 10 ** 3, 0.99)
+        assert sum(sizes) == 10 ** 5
+        assert all(s > 0 for s in sizes)
+
+    def test_first_fill_is_a_whole_buffer(self):
+        sizes = startup_fill_sizes(10 ** 5, 10 ** 3, 0.99)
+        assert sizes[0] == 10 ** 3
+
+    def test_fills_decay_geometrically(self):
+        sizes = startup_fill_sizes(10 ** 6, 10 ** 4, 0.99)
+        # Ratio of consecutive fills approximates alpha.
+        ratios = [b / a for a, b in zip(sizes[:20], sizes[1:21])]
+        for ratio in ratios:
+            assert ratio == pytest.approx(0.99, abs=0.01)
+
+    def test_reservoir_smaller_than_buffer_rejected(self):
+        with pytest.raises(ValueError):
+            startup_fill_sizes(10, 100, 0.9)
+
+    @given(reservoir=st.integers(100, 10 ** 6))
+    @settings(max_examples=100, deadline=None)
+    def test_schedule_partition_property(self, reservoir):
+        buffer = max(2, reservoir // 100)
+        alpha = 1 - buffer / reservoir
+        if not 0 < alpha < 1:
+            return
+        sizes = startup_fill_sizes(reservoir, buffer, alpha)
+        assert sum(sizes) == reservoir
+        assert all(s > 0 for s in sizes)
+        assert max(sizes) <= buffer

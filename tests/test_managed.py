@@ -1,0 +1,198 @@
+"""Tests for the managed (auto-checkpointing) sample wrapper."""
+
+import json
+import os
+
+import pytest
+
+from conftest import TEST_BLOCK, small_disk_params
+from repro.core.geometric_file import GeometricFile, GeometricFileConfig
+from repro.core.managed import ManagedSample
+from repro.core.multi import MultiFileConfig, MultipleGeometricFiles
+from repro.storage.device import SimulatedBlockDevice
+from repro.storage.records import Record
+
+
+def config(**kwargs):
+    defaults = dict(capacity=400, buffer_capacity=40, record_size=40,
+                    retain_records=True, beta_records=4)
+    defaults.update(kwargs)
+    return GeometricFileConfig(**defaults)
+
+
+def factory_for(cfg, cls=GeometricFile):
+    blocks = cls.required_blocks(cfg, TEST_BLOCK)
+    return lambda: SimulatedBlockDevice(blocks, small_disk_params())
+
+
+def feed(ms, n, start=0):
+    for i in range(start, start + n):
+        ms.offer(Record(key=i, value=float(i), timestamp=float(i)))
+
+
+class TestLifecycle:
+    def test_fresh_creation(self, tmp_path):
+        cfg = config()
+        ms = ManagedSample(tmp_path / "s.json", factory_for(cfg), cfg,
+                           checkpoint_every=5)
+        assert not ms.restored
+        feed(ms, 1000)
+        assert ms.disk_size == 400  # delegated observer
+
+    def test_automatic_checkpoints_appear(self, tmp_path):
+        cfg = config()
+        path = tmp_path / "s.json"
+        ms = ManagedSample(path, factory_for(cfg), cfg,
+                           checkpoint_every=3)
+        feed(ms, 1000)
+        assert path.exists()
+        assert ms.flushes_since_checkpoint < 3
+        state = json.loads(path.read_text())
+        assert state["kind"] == "GeometricFile"
+
+    def test_restart_resumes_identically(self, tmp_path):
+        cfg = config()
+        path = tmp_path / "s.json"
+        ms = ManagedSample(path, factory_for(cfg), cfg,
+                           checkpoint_every=1, seed=7)
+        feed(ms, 1200)
+        ms.checkpoint()
+        resumed = ManagedSample(path, factory_for(cfg), cfg,
+                                checkpoint_every=1)
+        assert resumed.restored
+        feed(ms, 600, start=1200)
+        feed(resumed, 600, start=1200)
+        keys_a = sorted(r.key for r in ms.sample.sample())
+        keys_b = sorted(r.key for r in resumed.sample.sample())
+        assert keys_a == keys_b
+
+    def test_crash_loses_at_most_the_tail(self, tmp_path):
+        cfg = config()
+        path = tmp_path / "s.json"
+        ms = ManagedSample(path, factory_for(cfg), cfg,
+                           checkpoint_every=4)
+        feed(ms, 900)  # a "crash" here: last checkpoint <= 4 flushes old
+        resumed = ManagedSample(path, factory_for(cfg), cfg)
+        lost = ms.seen - resumed.seen
+        assert 0 <= lost <= 5 * cfg.buffer_capacity
+        resumed.check_invariants()
+
+    def test_manual_checkpoint_only(self, tmp_path):
+        cfg = config()
+        path = tmp_path / "s.json"
+        ms = ManagedSample(path, factory_for(cfg), cfg,
+                           checkpoint_every=0)
+        feed(ms, 600)
+        assert not path.exists()
+        ms.checkpoint()
+        assert path.exists()
+
+    def test_count_only_ingest(self, tmp_path):
+        cfg = config(retain_records=False, admission="always")
+        path = tmp_path / "s.json"
+        ms = ManagedSample(path, factory_for(cfg), cfg,
+                           checkpoint_every=2)
+        ms.ingest(2000)
+        resumed = ManagedSample(path, factory_for(cfg), cfg)
+        assert resumed.restored
+        resumed.ingest(500)
+        resumed.check_invariants()
+
+
+class TestKinds:
+    def test_multi_kind(self, tmp_path):
+        cfg = MultiFileConfig(capacity=400, buffer_capacity=40,
+                              record_size=40, retain_records=True,
+                              beta_records=4, alpha_prime=0.6)
+        blocks = MultipleGeometricFiles.required_blocks(cfg, TEST_BLOCK)
+        factory = lambda: SimulatedBlockDevice(blocks,  # noqa: E731
+                                               small_disk_params())
+        path = tmp_path / "m.json"
+        ms = ManagedSample(path, factory, cfg, kind="multi",
+                           checkpoint_every=2)
+        feed(ms, 1500)
+        resumed = ManagedSample(path, factory, cfg, kind="multi")
+        assert resumed.restored
+        assert resumed.n_files == ms.n_files
+
+    def test_biased_kind(self, tmp_path):
+        cfg = config()
+        weight_fn = lambda r: 1.0 + r.timestamp / 100.0  # noqa: E731
+        path = tmp_path / "b.json"
+        ms = ManagedSample(path, factory_for(cfg), cfg, kind="biased",
+                           weight_fn=weight_fn, checkpoint_every=2)
+        feed(ms, 1200)
+        resumed = ManagedSample(path, factory_for(cfg), cfg,
+                                kind="biased", weight_fn=weight_fn)
+        assert resumed.restored
+        # The restored totalWeight is the value at the last checkpoint,
+        # which trails the live structure by at most a few flushes.
+        assert 0 < resumed.total_weight <= ms.total_weight
+        assert resumed.total_weight == pytest.approx(ms.total_weight,
+                                                     rel=0.2)
+
+    def test_biased_requires_weight_fn(self, tmp_path):
+        cfg = config()
+        with pytest.raises(ValueError):
+            ManagedSample(tmp_path / "x.json", factory_for(cfg), cfg,
+                          kind="biased")
+
+    def test_unknown_kind(self, tmp_path):
+        cfg = config()
+        with pytest.raises(ValueError):
+            ManagedSample(tmp_path / "x.json", factory_for(cfg), cfg,
+                          kind="btree")
+
+    def test_kind_config_mismatch(self, tmp_path):
+        cfg = config()
+        with pytest.raises(ValueError):
+            ManagedSample(tmp_path / "x.json", factory_for(cfg), cfg,
+                          kind="multi")
+
+    def test_checkpoint_kind_mismatch_detected(self, tmp_path):
+        cfg = config()
+        path = tmp_path / "s.json"
+        ms = ManagedSample(path, factory_for(cfg), cfg)
+        feed(ms, 100)
+        ms.checkpoint()
+        mcfg = MultiFileConfig(capacity=400, buffer_capacity=40,
+                               record_size=40, retain_records=True,
+                               beta_records=4, alpha_prime=0.6)
+        with pytest.raises(ValueError):
+            ManagedSample(path, factory_for(cfg), mcfg, kind="multi")
+
+
+class TestAtomicity:
+    def test_no_temp_files_left_behind(self, tmp_path):
+        cfg = config()
+        ms = ManagedSample(tmp_path / "s.json", factory_for(cfg), cfg,
+                           checkpoint_every=1)
+        feed(ms, 800)
+        leftovers = [p for p in os.listdir(tmp_path)
+                     if p.startswith(".checkpoint-")]
+        assert leftovers == []
+
+
+class TestBiasedMultiKind:
+    def test_biased_multi_lifecycle(self, tmp_path):
+        from repro.core.biased_file import BiasedMultipleGeometricFiles
+
+        cfg = MultiFileConfig(capacity=300, buffer_capacity=30,
+                              record_size=40, retain_records=True,
+                              beta_records=3, alpha_prime=0.6)
+        blocks = BiasedMultipleGeometricFiles.required_blocks(
+            cfg, TEST_BLOCK
+        )
+        factory = lambda: SimulatedBlockDevice(blocks,  # noqa: E731
+                                               small_disk_params())
+        weight_fn = lambda r: 1.0 + r.timestamp / 500.0  # noqa: E731
+        path = tmp_path / "bm.json"
+        ms = ManagedSample(path, factory, cfg, kind="biased-multi",
+                           weight_fn=weight_fn, checkpoint_every=2)
+        feed(ms, 1000)
+        resumed = ManagedSample(path, factory, cfg, kind="biased-multi",
+                                weight_fn=weight_fn)
+        assert resumed.restored
+        assert resumed.n_files == ms.n_files
+        assert len(list(resumed.items())) == 300
+        resumed.check_invariants()

@@ -1,0 +1,123 @@
+"""Unit tests for the record schema and codec."""
+
+import pytest
+
+from repro.storage.records import (
+    MIN_RECORD_SIZE,
+    Record,
+    RecordSchema,
+    WeightedRecord,
+)
+
+
+class TestSchemaValidation:
+    def test_minimum_size_enforced(self):
+        with pytest.raises(ValueError):
+            RecordSchema(MIN_RECORD_SIZE - 1)
+
+    def test_weighted_minimum_is_larger(self):
+        RecordSchema(MIN_RECORD_SIZE + 8, weighted=True)
+        with pytest.raises(ValueError):
+            RecordSchema(MIN_RECORD_SIZE + 7, weighted=True)
+
+    def test_records_per_block(self):
+        schema = RecordSchema(50)
+        assert schema.records_per_block(32 * 1024) == 655
+
+    def test_record_too_big_for_block(self):
+        schema = RecordSchema(4096)
+        with pytest.raises(ValueError):
+            schema.records_per_block(1024)
+
+    @pytest.mark.parametrize("n,expected", [(0, 0), (1, 1), (655, 1),
+                                            (656, 2), (1310, 2), (1311, 3)])
+    def test_blocks_for_records(self, n, expected):
+        schema = RecordSchema(50)
+        assert schema.blocks_for_records(n, 32 * 1024) == expected
+
+    def test_blocks_for_negative_records(self):
+        with pytest.raises(ValueError):
+            RecordSchema(50).blocks_for_records(-1, 1024)
+
+
+class TestCodec:
+    def test_round_trip(self):
+        schema = RecordSchema(64)
+        record = Record(key=123456789, value=3.25, timestamp=17.5,
+                        payload=b"sensor7")
+        assert schema.decode(schema.encode(record)) == record
+
+    def test_encoded_size_is_exact(self):
+        schema = RecordSchema(50)
+        assert len(schema.encode(Record(key=1))) == 50
+
+    def test_payload_truncated_to_fit(self):
+        schema = RecordSchema(MIN_RECORD_SIZE + 4)
+        record = Record(key=1, payload=b"abcdefgh")
+        decoded = schema.decode(schema.encode(record))
+        assert decoded.payload == b"abcd"
+
+    def test_negative_key_round_trips(self):
+        schema = RecordSchema(32)
+        record = Record(key=-42, value=-1.5, timestamp=-0.25)
+        assert schema.decode(schema.encode(record)) == record
+
+    def test_decode_wrong_size_rejected(self):
+        schema = RecordSchema(50)
+        with pytest.raises(ValueError):
+            schema.decode(b"\x00" * 49)
+
+    def test_weighted_round_trip(self):
+        schema = RecordSchema(64, weighted=True)
+        record = Record(key=7, value=1.0, timestamp=2.0, payload=b"x")
+        decoded = schema.decode(schema.encode(record, weight=0.375))
+        assert isinstance(decoded, WeightedRecord)
+        assert decoded.record == record
+        assert decoded.weight == 0.375
+
+    def test_weighted_default_weight_is_one(self):
+        schema = RecordSchema(64, weighted=True)
+        decoded = schema.decode(schema.encode(Record(key=1)))
+        assert decoded.weight == 1.0
+
+    def test_unweighted_schema_rejects_weight(self):
+        schema = RecordSchema(64)
+        with pytest.raises(ValueError):
+            schema.encode(Record(key=1), weight=2.0)
+
+    def test_batch_round_trip(self):
+        schema = RecordSchema(40)
+        records = [Record(key=i, value=i * 0.5) for i in range(10)]
+        data = schema.encode_batch(records)
+        assert len(data) == 400
+        assert schema.decode_batch(data, 10) == records
+
+    def test_batch_with_weights(self):
+        schema = RecordSchema(40, weighted=True)
+        records = [Record(key=i) for i in range(3)]
+        weights = [0.5, 1.0, 2.0]
+        data = schema.encode_batch(records, weights)
+        decoded = schema.decode_batch(data, 3)
+        assert [d.weight for d in decoded] == weights
+
+    def test_batch_weight_length_mismatch(self):
+        schema = RecordSchema(40, weighted=True)
+        with pytest.raises(ValueError):
+            schema.encode_batch([Record(key=1)], [1.0, 2.0])
+
+    def test_decode_batch_insufficient_bytes(self):
+        schema = RecordSchema(40)
+        with pytest.raises(ValueError):
+            schema.decode_batch(b"\x00" * 39, 1)
+
+
+class TestWeightedRecord:
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedRecord(Record(key=1), weight=-0.1)
+
+    def test_zero_weight_allowed_for_storage(self):
+        # Samplers reject non-positive f(r); the storage container only
+        # forbids negatives (a stored weight of zero can arise from
+        # clamping in user code).
+        WeightedRecord(Record(key=1), weight=0.0)

@@ -1,0 +1,123 @@
+"""Unit tests for classic reservoir sampling (Algorithm 1)."""
+
+import collections
+import math
+import random
+
+import pytest
+
+from repro.sampling import ReservoirSample, sample_without_replacement
+
+
+class TestBasics:
+    def test_fills_then_stays_fixed(self):
+        reservoir = ReservoirSample(10, random.Random(0))
+        for i in range(5):
+            reservoir.offer(i)
+        assert len(reservoir) == 5 and not reservoir.is_full
+        for i in range(5, 100):
+            reservoir.offer(i)
+        assert len(reservoir) == 10 and reservoir.is_full
+
+    def test_seen_counts_every_offer(self):
+        reservoir = ReservoirSample(3, random.Random(0))
+        reservoir.extend(range(50))
+        assert reservoir.seen == 50
+
+    def test_contents_is_a_copy(self):
+        reservoir = ReservoirSample(3, random.Random(0))
+        reservoir.extend(range(3))
+        snapshot = reservoir.contents()
+        snapshot.append(99)
+        assert len(reservoir) == 3
+
+    def test_offer_returns_evicted_item(self):
+        reservoir = ReservoirSample(2, random.Random(1))
+        reservoir.extend([10, 20])
+        evictions = [reservoir.offer(i) for i in range(100, 200)]
+        accepted = [e for e in evictions if e is not None]
+        assert accepted, "with 100 offers something must be accepted"
+        # Every evicted item must have been a prior member.
+        universe = {10, 20} | set(range(100, 200))
+        assert all(e in universe for e in accepted)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            ReservoirSample(0)
+
+    def test_iteration(self):
+        reservoir = ReservoirSample(4, random.Random(0))
+        reservoir.extend("abcd")
+        assert sorted(reservoir) == ["a", "b", "c", "d"]
+
+
+class TestUniformity:
+    def test_inclusion_probability_is_n_over_i(self):
+        """After the stream, each item resides with probability N/i."""
+        trials, n, stream = 3000, 5, 40
+        counts = collections.Counter()
+        for t in range(trials):
+            reservoir = ReservoirSample(n, random.Random(t))
+            reservoir.extend(range(stream))
+            counts.update(reservoir.contents())
+        expected = trials * n / stream
+        sigma = math.sqrt(trials * (n / stream) * (1 - n / stream))
+        for item in range(stream):
+            assert abs(counts[item] - expected) < 5 * sigma, item
+
+    def test_chi_square_over_positions(self):
+        """Pearson chi-square of inclusion counts against uniform."""
+        trials, n, stream = 2000, 10, 50
+        counts = collections.Counter()
+        for t in range(trials):
+            reservoir = ReservoirSample(n, random.Random(1000 + t))
+            reservoir.extend(range(stream))
+            counts.update(reservoir.contents())
+        expected = trials * n / stream
+        chi2 = sum((counts[i] - expected) ** 2 / expected
+                   for i in range(stream))
+        # 49 dof; 99.9th percentile is ~85.  Flaky-proof margin.
+        assert chi2 < 100
+
+    def test_prefix_property(self):
+        """At every prefix the reservoir is a sample of that prefix."""
+        reservoir = ReservoirSample(5, random.Random(3))
+        for i in range(100):
+            reservoir.offer(i)
+            assert len(reservoir) == min(5, i + 1)
+            assert all(item <= i for item in reservoir)
+
+
+class TestOneShotSampling:
+    def test_sizes(self):
+        out = sample_without_replacement(list(range(100)), 10,
+                                         random.Random(0))
+        assert len(out) == 10
+        assert len(set(out)) == 10
+
+    def test_zero_sample(self):
+        assert sample_without_replacement([1, 2, 3], 0) == []
+
+    def test_full_population(self):
+        out = sample_without_replacement([1, 2, 3], 3, random.Random(0))
+        assert sorted(out) == [1, 2, 3]
+
+    def test_oversample_rejected(self):
+        with pytest.raises(ValueError):
+            sample_without_replacement([1], 2)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            sample_without_replacement([1], -1)
+
+    def test_distribution_matches_random_sample(self):
+        """Agreement in distribution with the standard library."""
+        trials = 4000
+        ours = collections.Counter()
+        theirs = collections.Counter()
+        for t in range(trials):
+            rng = random.Random(t)
+            ours.update(sample_without_replacement(range(10), 3, rng))
+            theirs.update(random.Random(t + 10 ** 6).sample(range(10), 3))
+        for item in range(10):
+            assert abs(ours[item] - theirs[item]) < 0.15 * trials

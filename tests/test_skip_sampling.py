@@ -1,0 +1,150 @@
+"""Unit tests for Vitter's skip-based reservoir sampling."""
+
+import collections
+import math
+import random
+
+import pytest
+
+from repro.sampling import ReservoirSample, SkipReservoir, ZSkipper, skip_count_x
+
+
+def exact_gap_pmf(n: int, seen: int, max_skip: int) -> list[float]:
+    """P[skip == s] for the true acceptance-gap distribution."""
+    pmf = []
+    survive = 1.0
+    for s in range(max_skip + 1):
+        position = seen + s + 1
+        accept = n / position
+        pmf.append(survive * accept)
+        survive *= 1 - accept
+    return pmf
+
+
+class TestSkipCountX:
+    def test_requires_full_reservoir(self):
+        with pytest.raises(ValueError):
+            skip_count_x(10, 5, random.Random(0))
+
+    def test_matches_exact_distribution(self):
+        n, seen, trials = 5, 50, 20000
+        rng = random.Random(42)
+        counts = collections.Counter(
+            skip_count_x(n, seen, rng) for _ in range(trials)
+        )
+        pmf = exact_gap_pmf(n, seen, 60)
+        for s in range(20):
+            expected = trials * pmf[s]
+            if expected < 20:
+                continue
+            sigma = math.sqrt(expected)
+            assert abs(counts[s] - expected) < 5 * sigma, s
+
+    def test_mean_gap_grows_with_stream_position(self):
+        rng = random.Random(1)
+        early = [skip_count_x(10, 100, rng) for _ in range(2000)]
+        late = [skip_count_x(10, 10000, rng) for _ in range(2000)]
+        assert sum(late) / len(late) > 10 * sum(early) / len(early)
+
+
+class TestZSkipper:
+    def test_requires_full_reservoir(self):
+        z = ZSkipper(10, random.Random(0))
+        with pytest.raises(ValueError):
+            z.skip(5)
+
+    def test_agrees_with_x_in_distribution(self):
+        """Algorithm Z must sample the same gap law as Algorithm X."""
+        n, seen, trials = 8, 2000, 15000
+        rng_z = random.Random(7)
+        z = ZSkipper(n, rng_z)
+        zs = [z.skip(seen) for _ in range(trials)]
+        rng_x = random.Random(8)
+        xs = [skip_count_x(n, seen, rng_x) for _ in range(trials)]
+        mean_z = sum(zs) / trials
+        mean_x = sum(xs) / trials
+        # Exact mean of the gap is about (seen+1-n)/(n-1) ~ 284.7.
+        assert mean_z == pytest.approx(mean_x, rel=0.05)
+        # Compare a distribution quantile too, not just the mean.
+        zs.sort()
+        xs.sort()
+        assert zs[trials // 2] == pytest.approx(xs[trials // 2], rel=0.08)
+
+    def test_nonnegative_skips(self):
+        z = ZSkipper(3, random.Random(9))
+        assert all(z.skip(100) >= 0 for _ in range(1000))
+
+
+class TestSkipReservoir:
+    def test_fills_like_plain_reservoir(self):
+        sampler = SkipReservoir(5, random.Random(0))
+        for i in range(5):
+            sampler.offer(i)
+        assert sorted(sampler.contents()) == [0, 1, 2, 3, 4]
+
+    def test_size_stays_at_capacity(self):
+        sampler = SkipReservoir(10, random.Random(0))
+        for i in range(5000):
+            sampler.offer(i)
+        assert len(sampler) == 10
+        assert sampler.seen == 5000
+
+    def test_distribution_matches_plain_reservoir(self):
+        trials, n, stream = 2500, 5, 60
+        skip_counts = collections.Counter()
+        plain_counts = collections.Counter()
+        for t in range(trials):
+            skip = SkipReservoir(n, random.Random(t), z_threshold=6.0)
+            plain = ReservoirSample(n, random.Random(t + 10 ** 6))
+            for i in range(stream):
+                skip.offer(i)
+                plain.offer(i)
+            skip_counts.update(skip.contents())
+            plain_counts.update(plain.contents())
+        expected = trials * n / stream
+        sigma = math.sqrt(trials * (n / stream) * (1 - n / stream))
+        for item in range(stream):
+            assert abs(skip_counts[item] - expected) < 5 * sigma, item
+            assert abs(skip_counts[item] - plain_counts[item]) < 7 * sigma
+
+    def test_pending_skip_zero_while_filling(self):
+        sampler = SkipReservoir(5, random.Random(0))
+        sampler.offer(0)
+        assert sampler.pending_skip() == 0
+
+    def test_skip_ahead_consumes_the_gap(self):
+        sampler = SkipReservoir(5, random.Random(3))
+        for i in range(200):
+            sampler.offer(i)
+        gap = sampler.pending_skip()
+        sampler.skip_ahead(gap)
+        assert sampler.pending_skip() == 0
+        # The very next offer must be accepted.
+        before = set(sampler.contents())
+        sampler.offer(999)
+        assert 999 in sampler.contents() or before != set(sampler.contents())
+
+    def test_skip_ahead_past_acceptance_rejected(self):
+        sampler = SkipReservoir(5, random.Random(3))
+        for i in range(200):
+            sampler.offer(i)
+        with pytest.raises(ValueError):
+            sampler.skip_ahead(sampler.pending_skip() + 1)
+
+    def test_skip_ahead_negative_rejected(self):
+        sampler = SkipReservoir(5, random.Random(3))
+        for i in range(10):
+            sampler.offer(i)
+        with pytest.raises(ValueError):
+            sampler.skip_ahead(-1)
+
+    def test_algorithm_x_only_mode(self):
+        sampler = SkipReservoir(5, random.Random(4), use_z=False)
+        for i in range(2000):
+            sampler.offer(i)
+        assert len(sampler) == 5
+        assert sampler._z is None
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            SkipReservoir(0)

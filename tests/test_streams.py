@@ -1,0 +1,168 @@
+"""Unit tests for the synthetic stream generators."""
+
+import statistics
+
+import pytest
+
+from repro.storage.records import Record
+from repro.streams import (
+    CountingStream,
+    DataStream,
+    LogNormalStream,
+    MixtureStream,
+    NormalStream,
+    SensorStream,
+    TransformedStream,
+    UniformStream,
+    ZipfStream,
+    take,
+)
+
+
+class TestBasics:
+    def test_keys_are_sequence_numbers(self):
+        records = take(UniformStream(seed=1), 10)
+        assert [r.key for r in records] == list(range(10))
+
+    def test_timestamps_advance_by_tick(self):
+        records = take(UniformStream(seed=1, tick=0.5), 4)
+        assert [r.timestamp for r in records] == [0.0, 0.5, 1.0, 1.5]
+
+    def test_same_seed_same_stream(self):
+        a = take(NormalStream(seed=7), 50)
+        b = take(NormalStream(seed=7), 50)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = take(NormalStream(seed=1), 50)
+        b = take(NormalStream(seed=2), 50)
+        assert a != b
+
+    def test_produced_counter(self):
+        stream = UniformStream(seed=0)
+        take(stream, 25)
+        assert stream.produced == 25
+
+    def test_generators_satisfy_protocol(self):
+        assert isinstance(UniformStream(), DataStream)
+        assert isinstance(SensorStream(), DataStream)
+
+
+class TestDistributions:
+    def test_uniform_range_and_mean(self):
+        values = [r.value for r in take(UniformStream(2.0, 4.0, seed=3),
+                                        5000)]
+        assert all(2.0 <= v < 4.0 for v in values)
+        assert statistics.mean(values) == pytest.approx(3.0, abs=0.05)
+
+    def test_uniform_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            UniformStream(1.0, 1.0)
+
+    def test_normal_moments(self):
+        values = [r.value for r in take(NormalStream(20.0, 2.0, seed=5),
+                                        20000)]
+        assert statistics.mean(values) == pytest.approx(20.0, abs=0.1)
+        assert statistics.stdev(values) == pytest.approx(2.0, abs=0.1)
+
+    def test_lognormal_targets_requested_moments(self):
+        stream = LogNormalStream(mean=1000.0, std=2000.0, seed=11)
+        values = [r.value for r in take(stream, 200000)]
+        assert all(v > 0 for v in values)
+        # Heavy tail: the mean converges slowly; allow 10%.
+        assert statistics.mean(values) == pytest.approx(1000.0, rel=0.10)
+
+    def test_lognormal_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            LogNormalStream(mean=-1.0)
+
+    def test_zipf_values_in_range_and_skewed(self):
+        values = [r.value for r in take(ZipfStream(100, 1.2, seed=2),
+                                        20000)]
+        assert all(1 <= v <= 100 for v in values)
+        ones = sum(1 for v in values if v == 1)
+        tens = sum(1 for v in values if v == 10)
+        assert ones > 5 * tens  # rank 1 dominates rank 10
+
+    def test_zipf_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ZipfStream(0)
+        with pytest.raises(ValueError):
+            ZipfStream(10, exponent=0.0)
+
+    def test_mixture_blends_components(self):
+        low = NormalStream(0.0, 0.1, seed=1)
+        high = NormalStream(100.0, 0.1, seed=2)
+        mix = MixtureStream([(1.0, low), (1.0, high)], seed=3)
+        values = [r.value for r in take(mix, 4000)]
+        near_low = sum(1 for v in values if v < 50)
+        assert 0.4 < near_low / len(values) < 0.6
+
+    def test_mixture_rejects_empty_or_bad_weights(self):
+        with pytest.raises(ValueError):
+            MixtureStream([])
+        with pytest.raises(ValueError):
+            MixtureStream([(0.0, NormalStream())])
+
+
+class TestSensorStream:
+    def test_payload_parses(self):
+        stream = SensorStream(n_sensors=20, n_regions=4, seed=0)
+        record = next(iter(stream))
+        sensor, region = SensorStream.parse_payload(record)
+        assert 0 <= sensor < 20
+        assert region == stream.region_of(sensor)
+
+    def test_timestamps_strictly_increase(self):
+        records = take(SensorStream(seed=1), 500)
+        times = [r.timestamp for r in records]
+        assert all(a < b for a, b in zip(times, times[1:]))
+
+    def test_arrival_rate_approximately_honoured(self):
+        stream = SensorStream(rate=100.0, seed=4)
+        records = take(stream, 5000)
+        elapsed = records[-1].timestamp
+        assert 5000 / elapsed == pytest.approx(100.0, rel=0.1)
+
+    def test_regional_levels_differ(self):
+        stream = SensorStream(n_sensors=200, n_regions=2, noise_std=0.1,
+                              seed=9)
+        by_region: dict[int, list[float]] = {0: [], 1: []}
+        for record in take(stream, 4000):
+            _, region = SensorStream.parse_payload(record)
+            by_region[region].append(record.value)
+        gap = abs(statistics.mean(by_region[0])
+                  - statistics.mean(by_region[1]))
+        assert gap > 1.0  # baselines are 5 apart, drift/noise is smaller
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            SensorStream(n_sensors=0)
+        with pytest.raises(ValueError):
+            SensorStream(rate=0.0)
+        with pytest.raises(ValueError):
+            SensorStream(noise_std=-1.0)
+
+
+class TestAdapters:
+    def test_counting_stream_wraps_any_iterable(self):
+        base = [Record(key=i) for i in range(5)]
+        stream = CountingStream(base)
+        assert take(stream, 3) == base[:3]
+        assert stream.produced == 3
+
+    def test_take_exhaustion_raises(self):
+        with pytest.raises(ValueError):
+            take(CountingStream([Record(key=0)]), 5)
+
+    def test_take_negative_raises(self):
+        with pytest.raises(ValueError):
+            take(CountingStream([]), -1)
+
+    def test_transformed_stream(self):
+        base = CountingStream(Record(key=i) for i in range(10))
+        doubled = TransformedStream(
+            base, lambda r: Record(key=r.key * 2)
+        )
+        assert [r.key for r in take(doubled, 3)] == [0, 2, 4]
+        assert doubled.produced == 3

@@ -1,0 +1,104 @@
+"""Tests for the variable-size record codec (Section 10 groundwork)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import MemoryBlockDevice, VariableRecordCodec
+from repro.storage.records import Record
+
+
+def recs(payloads):
+    return [Record(key=i, value=float(i), timestamp=float(i),
+                   payload=p) for i, p in enumerate(payloads)]
+
+
+class TestEncodeDecode:
+    def test_round_trip_mixed_sizes(self):
+        codec = VariableRecordCodec()
+        records = recs([b"", b"x", b"hello world", b"a" * 1000])
+        run, overflow = codec.pack(records, budget_bytes=10_000)
+        assert overflow == []
+        assert codec.decode_run(run) == records
+
+    def test_encoded_size_matches(self):
+        codec = VariableRecordCodec()
+        record = Record(key=1, payload=b"abc")
+        assert len(codec.encode(record)) == codec.encoded_size(record)
+
+    def test_oversized_record_rejected(self):
+        codec = VariableRecordCodec(max_record_bytes=64)
+        with pytest.raises(ValueError):
+            codec.encode(Record(key=1, payload=b"z" * 200))
+
+    def test_truncated_run_rejected(self):
+        codec = VariableRecordCodec()
+        run, _ = codec.pack(recs([b"hello"]), 1000)
+        with pytest.raises(ValueError):
+            codec.decode_run(run[:-8])
+
+
+class TestPacking:
+    def test_budget_spills_in_order(self):
+        codec = VariableRecordCodec()
+        records = recs([b"a" * 40] * 10)
+        per = codec.encoded_size(records[0])
+        budget = per * 4 + 8  # room for 4 records + terminator
+        run, overflow = codec.pack(records, budget)
+        packed = codec.decode_run(run)
+        assert packed == records[:4]
+        assert overflow == records[4:]
+        assert len(run) <= budget
+
+    def test_first_fit_does_not_reorder(self):
+        """A small later record must not jump a big earlier one."""
+        codec = VariableRecordCodec()
+        records = recs([b"a" * 10, b"b" * 500, b"c" * 10])
+        budget = codec.encoded_size(records[0]) \
+            + codec.encoded_size(records[2]) + 8
+        run, overflow = codec.pack(records, budget)
+        assert codec.decode_run(run) == records[:1]
+        assert overflow == records[1:]
+
+    def test_tiny_budget_rejected(self):
+        codec = VariableRecordCodec()
+        with pytest.raises(ValueError):
+            codec.pack([], 2)
+
+    def test_total_encoded_size(self):
+        codec = VariableRecordCodec()
+        records = recs([b"xy", b"z" * 7])
+        run, overflow = codec.pack(records,
+                                   codec.total_encoded_size(records))
+        assert overflow == []
+
+
+class TestBlockRoundTrip:
+    def test_through_a_device_with_padding(self):
+        codec = VariableRecordCodec()
+        device = MemoryBlockDevice(16, block_size=128)
+        records = recs([b"p" * n for n in (0, 5, 50, 111)])
+        run, _ = codec.pack(records, budget_bytes=16 * 128)
+        padded = codec.pad_to_blocks(run, device.block_size)
+        device.write_blocks(0, padded)
+        read = device.read_blocks(0, len(padded) // device.block_size)
+        assert codec.decode_run(read) == records
+
+    def test_pad_validation(self):
+        codec = VariableRecordCodec()
+        with pytest.raises(ValueError):
+            codec.pad_to_blocks(b"abc", 0)
+
+
+@given(payloads=st.lists(st.binary(max_size=200), max_size=30),
+       budget=st.integers(8, 4000))
+@settings(max_examples=200, deadline=None)
+def test_pack_decode_property(payloads, budget):
+    """pack + decode_run is the identity on the packed prefix, the
+    overflow is exactly the unpacked suffix, and budgets are honoured."""
+    codec = VariableRecordCodec()
+    records = recs(payloads)
+    run, overflow = codec.pack(records, budget)
+    assert len(run) <= budget
+    packed = codec.decode_run(run)
+    assert packed + overflow == records

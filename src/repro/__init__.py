@@ -19,7 +19,18 @@ Quick start::
     device = SimulatedBlockDevice(blocks)
     sample = GeometricFile(device, config, seed=42)
     sample.ingest(50_000_000)   # stream fifty million records past it
-    print(sample.disk_size, sample.clock)
+    print(sample.disk_size, sample.stats().clock)
+
+Observability: every structure and device answers ``stats()``, and
+``instrument(registry, trace)`` wires live metrics and event tracing
+(see docs/OBSERVABILITY.md)::
+
+    from repro import MetricsRegistry, TraceSink
+
+    registry, trace = MetricsRegistry(), TraceSink()
+    sample.instrument(registry, trace)
+    sample.ingest(1_000_000)
+    print(registry.value("disk.seeks", structure="geo file"))
 
 See README.md and the ``examples/`` directory.
 """
@@ -42,6 +53,7 @@ from .core import (
     save_geometric_file,
 )
 from .estimate import SampleQuery, required_sample_size
+from .obs import MetricsRegistry, ReservoirStats, TraceEvent, TraceSink
 from .reservoir import StreamReservoir
 from .sampling import BiasedReservoir, ReservoirSample, SkipReservoir
 from .storage import (
@@ -68,16 +80,20 @@ __all__ = [
     "GeometricFileConfig",
     "LocalOverwriteReservoir",
     "MemoryBlockDevice",
+    "MetricsRegistry",
     "MultiFileConfig",
     "MultipleGeometricFiles",
     "Record",
     "ReservoirSample",
+    "ReservoirStats",
     "SampleQuery",
     "ScanReservoir",
     "SensorStream",
     "SimulatedBlockDevice",
     "SkipReservoir",
     "StreamReservoir",
+    "TraceEvent",
+    "TraceSink",
     "UniformStream",
     "VirtualMemoryReservoir",
     "ZipfStream",

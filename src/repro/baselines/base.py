@@ -141,8 +141,7 @@ class BufferedDiskReservoir(StreamReservoir):
 
     # -- observers -------------------------------------------------------------
 
-    @property
-    def clock(self) -> float:
+    def _clock(self) -> float:
         # Duck-typed: any cost-modelled device (simulated, striped)
         # exposes a simulated clock; byte-only backends do not.
         return getattr(self.device, "clock", 0.0)
@@ -162,6 +161,8 @@ class BufferedDiskReservoir(StreamReservoir):
             records, _, count = self.buffer.drain()
             self._steady_flush(records, count)
             self.flushes += 1
+            self._emit("flush", index=self.flushes, records=count,
+                       phase="steady")
 
     def _admit_count(self, n: int) -> None:
         if self.in_fill_phase:
@@ -179,6 +180,8 @@ class BufferedDiskReservoir(StreamReservoir):
                 _, __, count = self.buffer.drain()
                 self._steady_flush(None, count)
                 self.flushes += 1
+                self._emit("flush", index=self.flushes, records=count,
+                           phase="steady")
 
     # -- fill phase ----------------------------------------------------------------
 

@@ -86,6 +86,12 @@ class LocalOverwriteReservoir(BufferedDiskReservoir):
     def n_cohorts(self) -> int:
         return len(self._cohorts)
 
+    def _stats_extra(self) -> dict:
+        return {
+            "n_cohorts": self.n_cohorts,
+            "max_cohorts_touched": self.max_cohorts_touched,
+        }
+
     def _finish_fill(self, records: list[Record] | None) -> None:
         if records is not None:
             self._rng.shuffle(records)  # the fill is clustered randomly

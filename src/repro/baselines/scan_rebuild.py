@@ -52,6 +52,9 @@ class ScanReservoir(BufferedDiskReservoir):
     def _finish_fill(self, records: list[Record] | None) -> None:
         self._records = records
 
+    def _stats_extra(self) -> dict:
+        return {"file_blocks": self._file_blocks}
+
     def _steady_flush(self, records: list[Record] | None,
                       count: int) -> None:
         """Read the whole file, splice in the new samples, write it back.

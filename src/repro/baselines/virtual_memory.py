@@ -68,6 +68,18 @@ class VirtualMemoryReservoir(BufferedDiskReservoir):
     def _finish_fill(self, records: list[Record] | None) -> None:
         self._records = records
 
+    # -- observability -------------------------------------------------------
+
+    def _stats_extra(self) -> dict:
+        pool = self.pool.stats
+        return {
+            "pool_blocks": self.pool.capacity,
+            "pool_hits": pool.hits,
+            "pool_misses": pool.misses,
+            "pool_evictions": pool.evictions,
+            "pool_hit_ratio": pool.hit_ratio,
+        }
+
     # -- steady state -------------------------------------------------------------
 
     def _admit(self, record: Record | None) -> None:

@@ -63,6 +63,9 @@ class ExperimentSpec:
         horizon_hours: paper-scale experiment duration.
         alpha_prime: per-file decay for the multi-file option.
         scale: divisor applied to record counts and the horizon.
+            ``scale=0`` is *smoke mode*: a fixed tiny configuration
+            (100k-record reservoir, 10k-record buffer, a horizon of a
+            few fill times) for CI and the ``--metrics`` quick path.
     """
 
     name: str
@@ -76,25 +79,41 @@ class ExperimentSpec:
     scale: int = 1
     seed: int = 0
 
+    #: Smoke-mode sizing (``scale=0``): B/N = 0.1 gives alpha = 0.9 =
+    #: the default alpha', so the multi-file option degenerates to one
+    #: file instead of rejecting the configuration.
+    SMOKE_CAPACITY = 100_000
+    SMOKE_BUFFER = 10_000
+
     def __post_init__(self) -> None:
-        if self.scale < 1:
-            raise ValueError("scale must be at least 1")
+        if self.scale < 0:
+            raise ValueError("scale must be non-negative (0 = smoke mode)")
 
     # -- derived, scaled quantities -------------------------------------------
 
     @property
     def capacity(self) -> int:
         """Reservoir size N in records, after scaling."""
+        if self.scale == 0:
+            return self.SMOKE_CAPACITY
         return max(1000, self.reservoir_bytes // self.record_size
                    // self.scale)
 
     @property
     def buffer_capacity(self) -> int:
         """New-sample buffer B in records, after scaling."""
+        if self.scale == 0:
+            return self.SMOKE_BUFFER
         return max(50, self.buffer_bytes // self.record_size // self.scale)
 
     @property
     def horizon_seconds(self) -> float:
+        if self.scale == 0:
+            # A few reservoir fill times: long enough to cross into the
+            # steady state, short enough for a CI smoke run.
+            fill = (self.capacity * self.record_size
+                    / self.disk_parameters().transfer_rate)
+            return 3.0 * fill + 0.5
         return self.horizon_hours * 3600.0 / self.scale
 
     def disk_parameters(self) -> DiskParameters:
@@ -107,6 +126,14 @@ class ExperimentSpec:
         """LRU pool size in blocks (scaled with the record counts)."""
         pool_bytes = (self.vm_pool_bytes if virtual_memory
                       else self.pool_bytes)
+        if self.scale == 0:
+            # Keep the paper's pool-to-reservoir ratio so the
+            # virtual-memory option still misses (a pool covering the
+            # whole smoke reservoir would never touch the disk).
+            reservoir_blocks = -(-self.capacity * self.record_size
+                                 // block_size)
+            return max(4, reservoir_blocks * pool_bytes
+                       // self.reservoir_bytes)
         return max(4, pool_bytes // block_size // self.scale)
 
     # -- factories -------------------------------------------------------------

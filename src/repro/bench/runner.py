@@ -105,33 +105,35 @@ def run_until(reservoir: StreamReservoir, horizon_seconds: float,
     target_dt = horizon_seconds / record_points
     result = RunResult(name=reservoir.name)
     next_checkpoint = target_dt
-    while reservoir.clock < horizon_seconds:
+    while reservoir._clock() < horizon_seconds:
         take = chunk_records
         if max_records is not None:
-            take = min(take, max_records - reservoir.seen)
+            take = min(take, max_records - reservoir._seen)
             if take <= 0:
                 break
-        before = reservoir.clock
+        before = reservoir._clock()
         reservoir.ingest(take)
-        elapsed = reservoir.clock - before
+        clock = reservoir._clock()
+        elapsed = clock - before
         if adaptive and elapsed > 2.0 * target_dt:
             chunk_records = max(chunk_floor, chunk_records // 2)
-        if reservoir.clock >= next_checkpoint:
+        if clock >= next_checkpoint:
             result.points.append(
-                SeriesPoint(reservoir.clock, reservoir.samples_added)
+                SeriesPoint(clock, reservoir._samples_added)
             )
-            while next_checkpoint <= reservoir.clock:
+            while next_checkpoint <= clock:
                 next_checkpoint += target_dt
-    result.points.append(SeriesPoint(reservoir.clock,
-                                     reservoir.samples_added))
+    result.points.append(SeriesPoint(reservoir._clock(),
+                                     reservoir._samples_added))
 
-    device = getattr(reservoir, "device", None)
-    model = getattr(device, "model", None)
-    if model is not None:
-        stats = model.stats
-        result.seeks = stats.seeks
-        result.blocks_written = stats.blocks_written
-        result.blocks_read = stats.blocks_read
-        result.sequential_ratio = stats.sequential_ratio
-        result.random_io_fraction = stats.random_io_fraction
+    # The unified stats() protocol reports the whole backing volume --
+    # including every spindle of a striped device, which the old
+    # ``device.model.stats`` read-out undercounted.
+    io = reservoir.stats().io
+    if io is not None:
+        result.seeks = io.seeks
+        result.blocks_written = io.blocks_written
+        result.blocks_read = io.blocks_read
+        result.sequential_ratio = io.sequential_ratio
+        result.random_io_fraction = io.random_io_fraction
     return result

@@ -79,13 +79,13 @@ class BiasedSamplingMixin:
             raise ValueError(
                 f"weight function returned {weight!r}; must be positive"
             )
-        self.seen += 1
+        self._seen += 1
 
         if self.in_startup:
             # Start-up: everything is admitted with effective weight 1;
             # multipliers are fixed up when the reservoir completes.
             self.total_weight += weight
-            self.samples_added += 1
+            self._samples_added += 1
             self.buffer.append(record, weight=1.0)
             if self.buffer.count >= self._startup_sizes[self._startup_index]:
                 was_last = (self._startup_index
@@ -102,7 +102,7 @@ class BiasedSamplingMixin:
             admit_probability = 1.0
         if self._rng.random() >= admit_probability:
             return
-        self.samples_added += 1
+        self._samples_added += 1
         self.buffer.add_admitted(record, self.capacity, weight=weight)
         if self.buffer.is_full:
             self._flush()
@@ -159,6 +159,7 @@ class BiasedSamplingMixin:
         self.buffer.scale_weights(factor)              # step (2)
         self.total_weight = self.capacity * new_weight  # step (3)
         self.overflow_events += 1
+        self._emit("overflow", what="weight", factor=factor)
 
     def _finish_startup_weights(self) -> None:
         """Give the initial subsamples the mean true weight.
@@ -169,6 +170,12 @@ class BiasedSamplingMixin:
         mean_weight = self.total_weight / self.capacity
         for ident in self.multipliers:
             self.multipliers[ident] = mean_weight
+
+    def _stats_extra(self) -> dict:
+        extra = super()._stats_extra()
+        extra["overflow_events"] = self.overflow_events
+        extra["total_weight"] = self.total_weight
+        return extra
 
     def _new_ledger(self, sizes, first_level, tail, records):
         ledger = super()._new_ledger(sizes, first_level, tail, records)

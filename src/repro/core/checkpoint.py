@@ -112,8 +112,8 @@ def save_geometric_file(gf: GeometricFile | MultipleGeometricFiles,
         "version": FORMAT_VERSION,
         "kind": type(gf).__name__,
         "config": asdict(gf.config),
-        "seen": gf.seen,
-        "samples_added": gf.samples_added,
+        "seen": gf._seen,
+        "samples_added": gf._samples_added,
         "flushes": gf.flushes,
         "stack_overflows": gf.stack_overflows,
         "startup_index": gf._startup_index,
@@ -189,8 +189,8 @@ def load_geometric_file(source: IO[str], device: BlockDevice,
     else:
         raise ValueError(f"unknown checkpoint kind {kind!r}")
 
-    gf.seen = state["seen"]
-    gf.samples_added = state["samples_added"]
+    gf._seen = state["seen"]
+    gf._samples_added = state["samples_added"]
     gf.flushes = state["flushes"]
     gf.stack_overflows = state["stack_overflows"]
     gf._startup_index = state["startup_index"]

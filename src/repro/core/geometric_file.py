@@ -164,11 +164,17 @@ class GeometricFile(StreamReservoir):
             n_stack_regions=ladder.n_disk_segments + 2,
         )
 
-    @property
-    def clock(self) -> float:
+    def _clock(self) -> float:
         # Duck-typed: any cost-modelled device (simulated, striped)
         # exposes a simulated clock; byte-only backends do not.
         return getattr(self.device, "clock", 0.0)
+
+    def _stats_extra(self) -> dict:
+        return {
+            "alpha": self.alpha,
+            "n_subsamples": self.n_subsamples,
+            "stack_overflows": self.stack_overflows,
+        }
 
     @property
     def in_startup(self) -> bool:
@@ -265,6 +271,8 @@ class GeometricFile(StreamReservoir):
         self._layout.append_startup(self._blocks_for(count - tail))
         self._startup_index += 1
         self.flushes += 1
+        self._emit("flush", index=self.flushes, records=count,
+                   phase="startup", level=level)
 
     def _flush(self) -> None:
         """Steady-state flush: Algorithm 3 plus the Section 4.5 mechanics."""
@@ -285,6 +293,8 @@ class GeometricFile(StreamReservoir):
             self._write_slot(level, slot, size)
         self.subsamples = [s for s in self.subsamples if not s.is_dead]
         self.flushes += 1
+        self._emit("flush", index=self.flushes, records=count,
+                   phase="steady")
 
     def _new_ledger(self, sizes: list[int], first_level: int, tail: int,
                     records: list[Record] | None) -> SubsampleLedger:
@@ -334,6 +344,7 @@ class GeometricFile(StreamReservoir):
         if ledger.overflowed:
             self.stack_overflows += 1
             ledger.overflowed = False
+            self._emit("overflow", what="stack", subsample=ledger.ident)
         if not event.touched:
             return
         # One head movement to the subsample's stack region, then a
@@ -365,6 +376,8 @@ class GeometricFile(StreamReservoir):
         self._layout.write_slot(level, slot, self._blocks_for(size))
         for _ in range(self.config.extra_seeks_per_segment):
             self._layout.charge_seek()
+        self._emit("segment_overwrite", level=level, slot=slot,
+                   records=size)
 
 
 class FileLayout:

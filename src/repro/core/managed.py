@@ -133,15 +133,41 @@ class ManagedSample:
                 os.unlink(temp_path)
             raise
         self._checkpointed_flushes = self.sample.flushes
+        self.sample._emit("checkpoint", path=self.path,
+                          flushes=self.sample.flushes)
 
     def _maybe_checkpoint(self) -> None:
         if (self.checkpoint_every
                 and self.flushes_since_checkpoint >= self.checkpoint_every):
             self.checkpoint()
 
+    # -- observability -----------------------------------------------------------
+
+    def stats(self):
+        """The underlying structure's :class:`~repro.obs.ReservoirStats`."""
+        return self.sample.stats()
+
+    def instrument(self, registry, trace=None, *, name=None) -> None:
+        """Instrument the underlying structure; see
+        :meth:`repro.reservoir.StreamReservoir.instrument`."""
+        self.sample.instrument(registry, trace, name=name)
+
     # -- conveniences -----------------------------------------------------------
 
     def __getattr__(self, name: str):
-        # Delegate observers (sample(), seen, disk_size, items(), ...)
-        # to the underlying structure.
-        return getattr(self.sample, name)
+        # Delegate observers (sample(), disk_size, items(), ...) to the
+        # underlying structure.  "sample" itself must not recurse: when
+        # __init__ has not yet bound it, Python falls back here.
+        if name == "sample":
+            raise AttributeError(
+                f"{type(self).__name__!r} object has no attribute 'sample' "
+                "(not yet initialised)"
+            )
+        try:
+            return getattr(self.sample, name)
+        except AttributeError:
+            raise AttributeError(
+                f"{type(self).__name__!r} object has no attribute {name!r} "
+                f"(also absent on the wrapped "
+                f"{type(self.sample).__name__!r})"
+            ) from None

@@ -162,11 +162,19 @@ class MultipleGeometricFiles(StreamReservoir):
         )
         return per_file * n_files
 
-    @property
-    def clock(self) -> float:
+    def _clock(self) -> float:
         # Duck-typed: any cost-modelled device (simulated, striped)
         # exposes a simulated clock; byte-only backends do not.
         return getattr(self.device, "clock", 0.0)
+
+    def _stats_extra(self) -> dict:
+        return {
+            "alpha": self.alpha,
+            "alpha_prime": self.alpha_prime,
+            "n_files": self.n_files,
+            "n_subsamples": self.n_subsamples,
+            "stack_overflows": self.stack_overflows,
+        }
 
     @property
     def in_startup(self) -> bool:
@@ -259,6 +267,8 @@ class MultipleGeometricFiles(StreamReservoir):
         file.layout.append_startup(self._blocks_for(count - tail))
         self._startup_index += 1
         self.flushes += 1
+        self._emit("flush", index=self.flushes, records=count,
+                   phase="startup", file=file.index, level=level)
 
     def _flush(self) -> None:
         """Steady-state flush into the round-robin target file."""
@@ -296,6 +306,9 @@ class MultipleGeometricFiles(StreamReservoir):
             else file.layout.take_slot(level)
             for level in range(self.ladder.n_disk_segments)
         ]
+        self._emit("dummy_rotation", file=file.index,
+                   donated=len(new_dummy),
+                   levels=self.ladder.n_disk_segments)
         # Dead (fully-decayed) subsamples in the written file are
         # dropped now; ones in other files wait for their file's turn
         # -- a zero-live ledger draws zero victims, so keeping it an
@@ -303,6 +316,8 @@ class MultipleGeometricFiles(StreamReservoir):
         # flush.
         file.subsamples = [s for s in file.subsamples if not s.is_dead]
         self.flushes += 1
+        self._emit("flush", index=self.flushes, records=count,
+                   phase="steady", file=file.index)
 
     def _new_ledger(self, sizes: list[int], first_level: int, tail: int,
                     records: list[Record] | None) -> SubsampleLedger:
@@ -330,6 +345,8 @@ class MultipleGeometricFiles(StreamReservoir):
         if ledger.overflowed:
             self.stack_overflows += 1
             ledger.overflowed = False
+            self._emit("overflow", what="stack", file=file.index,
+                       subsample=ledger.ident)
         if not event.touched:
             return
         blocks = max(1, self._blocks_for(event.pushed))
@@ -352,3 +369,5 @@ class MultipleGeometricFiles(StreamReservoir):
         file.layout.write_slot(level, slot, self._blocks_for(size))
         for _ in range(self.config.extra_seeks_per_segment):
             file.layout.charge_seek()
+        self._emit("segment_overwrite", file=file.index, level=level,
+                   slot=slot, records=size)

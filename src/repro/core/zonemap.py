@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterator
 
+from ..obs.deprecation import warn_deprecated
 from ..storage.records import Record
 from .geometric_file import GeometricFile
 
@@ -90,8 +91,54 @@ class ZoneMapIndex:
         self._gf = gf
         self._extract = extractor
         self._envelopes: dict[int, _Envelope] = {}
-        self.last_stats = ZoneMapStats()
+        self._last_stats = ZoneMapStats()
+        self._obs_name = "zone map"
+        self._registry = None
+        self._trace = None
+        self._query_counter = None
         self.refresh()
+
+    # -- observability ------------------------------------------------------
+
+    def stats(self) -> ZoneMapStats:
+        """Pruning statistics of the most recent :meth:`query`."""
+        return self._last_stats
+
+    @property
+    def last_stats(self) -> ZoneMapStats:
+        """Deprecated: use :meth:`stats`."""
+        warn_deprecated("ZoneMapIndex.last_stats", "stats()")
+        return self._last_stats
+
+    @last_stats.setter
+    def last_stats(self, value: ZoneMapStats) -> None:
+        self._last_stats = value
+
+    def instrument(self, registry, trace=None, *, name: str = "zone map") -> None:
+        """Attach observers; each completed query emits ``zone_query``.
+
+        Args:
+            registry: a :class:`repro.obs.MetricsRegistry`.
+            trace: optional :class:`repro.obs.TraceSink`.
+            name: value of the ``structure`` label / trace source.
+        """
+        self._obs_name = name
+        self._registry = registry
+        self._trace = trace
+        self._query_counter = registry.counter("events.zone_query",
+                                               structure=name)
+
+    def _emit_query(self, stats: ZoneMapStats) -> None:
+        if self._query_counter is not None:
+            self._query_counter.inc()
+        if self._trace is not None:
+            self._trace.emit(
+                "zone_query", self._obs_name, self._gf._clock(),
+                subsamples_total=stats.subsamples_total,
+                subsamples_scanned=stats.subsamples_scanned,
+                records_scanned=stats.records_scanned,
+                records_matched=stats.records_matched,
+            )
 
     def refresh(self) -> None:
         """Index subsamples created since the last refresh."""
@@ -111,7 +158,7 @@ class ZoneMapIndex:
         """Records with the indexed field in ``[low, high]``.
 
         Only scans subsamples whose envelope intersects the range;
-        :attr:`last_stats` records the pruning achieved.  The buffer's
+        :meth:`stats` reports the pruning achieved.  The buffer's
         pending records are always scanned (they have no envelope yet).
 
         Note on snapshot semantics: between flushes the query sees the
@@ -126,7 +173,7 @@ class ZoneMapIndex:
             raise ValueError("need low <= high")
         self.refresh()
         stats = ZoneMapStats()
-        self.last_stats = stats
+        self._last_stats = stats
         for ledger in self._gf.subsamples:
             stats.subsamples_total += 1
             envelope = self._envelopes.get(ledger.ident)
@@ -146,3 +193,4 @@ class ZoneMapIndex:
                 if low <= value <= high:
                     stats.records_matched += 1
                     yield record
+        self._emit_query(stats)

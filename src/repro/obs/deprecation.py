@@ -1,0 +1,43 @@
+"""Deprecation shims for the pre-``stats()`` accessors.
+
+The unified observability API replaced a zoo of ad-hoc accessors
+(``reservoir.seen``, ``StripedBlockDevice.combined_stats()``,
+``ZoneMapIndex.last_stats``, ...).  The old names keep working through
+this module: :func:`warn_deprecated` raises a ``DeprecationWarning``
+once per (old name) per process -- once, not per call, because several
+of the shimmed accessors sit on ingestion hot paths and per-call
+warning machinery would dominate tight loops (and flood pytest's
+warning capture).
+
+``docs/API.md`` carries the old-name -> new-name migration table.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+_warned: set[str] = set()
+
+
+def warn_deprecated(old: str, replacement: str) -> None:
+    """Emit one ``DeprecationWarning`` per process for ``old``.
+
+    Args:
+        old: the legacy accessor, e.g. ``"StreamReservoir.clock"``.
+        replacement: what callers should use instead, e.g.
+            ``"stats().clock"``.
+    """
+    if old in _warned:
+        return
+    _warned.add(old)
+    warnings.warn(
+        f"{old} is deprecated; use {replacement} instead "
+        f"(see docs/API.md for the migration table)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def reset_deprecation_warnings() -> None:
+    """Forget which deprecations already fired (test helper)."""
+    _warned.clear()

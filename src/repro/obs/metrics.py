@@ -1,0 +1,249 @@
+"""A zero-dependency metrics registry.
+
+The paper's whole argument is a cost argument -- seeks versus
+sequential blocks -- so the library's operational story needs those
+quantities to be *observable* from the outside, not buried in ad-hoc
+attributes.  This module provides the smallest useful vocabulary:
+
+* :class:`Counter` -- a monotonically increasing total (seeks, flushes,
+  blocks written);
+* :class:`Gauge` -- a point-in-time value (subsamples alive, buffer
+  fill);
+* :class:`Histogram` -- a summary of an observed distribution (records
+  per flush, seconds per checkpoint);
+* :class:`Timer` -- a histogram of wall-clock durations with a context
+  manager front end;
+* :class:`MetricsRegistry` -- the get-or-create home for all of them,
+  keyed by ``(name, labels)`` and dumpable as JSON.
+
+Instrumentation is deliberately *passive*: metrics mirror quantities
+that the structures compute anyway, so attaching a registry never
+charges simulated I/O and never perturbs :class:`~repro.storage.disk_model.DiskModel`
+clocks (a tested property).  Counters accept float increments so that
+simulated seconds can be mirrored bit-exactly -- the reconciliation
+tests assert registry values *equal* the disk model's totals.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from typing import IO, Iterator, Mapping
+
+_LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, str]) -> _LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Metric:
+    """Common base: a name plus a frozen label set."""
+
+    kind = "metric"
+
+    def __init__(self, name: str, labels: Mapping[str, str]) -> None:
+        self.name = name
+        self.labels = dict(labels)
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation (name, labels, kind, value fields)."""
+        entry = {"name": self.name, "kind": self.kind}
+        if self.labels:
+            entry["labels"] = dict(sorted(self.labels.items()))
+        entry.update(self._value_fields())
+        return entry
+
+    def _value_fields(self) -> dict:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name} {self.labels}>"
+
+
+class Counter(Metric):
+    """A monotonically increasing total.
+
+    Accepts float increments so simulated seconds can be mirrored
+    exactly; negative increments are rejected.
+    """
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: Mapping[str, str]) -> None:
+        super().__init__(name, labels)
+        self.value: float = 0.0
+
+    def inc(self, amount: float = 1) -> None:
+        """Add ``amount`` (>= 0) to the total."""
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def reset(self) -> None:
+        """Zero the total (mirrors :meth:`DiskModel.reset` semantics)."""
+        self.value = 0.0
+
+    def _value_fields(self) -> dict:
+        return {"value": self.value}
+
+
+class Gauge(Metric):
+    """A value that can go up and down (last write wins)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: Mapping[str, str]) -> None:
+        super().__init__(name, labels)
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self.value = float(value)
+
+    def inc(self, amount: float = 1) -> None:
+        """Adjust the value by ``amount`` (may be negative)."""
+        self.value += amount
+
+    def _value_fields(self) -> dict:
+        return {"value": self.value}
+
+
+class Histogram(Metric):
+    """Count / total / min / max summary of an observed distribution.
+
+    Deliberately bucket-free: the consumers here (benchmark reports,
+    JSON dumps) want compact summaries, and anything finer belongs in
+    the trace, which keeps every event.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, labels: Mapping[str, str]) -> None:
+        super().__init__(name, labels)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        """Record one sample of the distribution."""
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Average of the observed samples (0.0 when empty)."""
+        if self.count == 0:
+            return 0.0
+        return self.total / self.count
+
+    def _value_fields(self) -> dict:
+        fields = {"count": self.count, "total": self.total,
+                  "mean": self.mean}
+        if self.count:
+            fields["min"] = self.min
+            fields["max"] = self.max
+        return fields
+
+
+class Timer(Histogram):
+    """A histogram of durations with a context-manager front end.
+
+    Example::
+
+        with registry.timer("bench.wall_seconds", structure="geo file"):
+            run_until(reservoir, horizon)
+    """
+
+    kind = "timer"
+
+    def __enter__(self) -> "Timer":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.observe(time.perf_counter() - self._t0)
+
+
+class MetricsRegistry:
+    """Get-or-create home for every metric, keyed by ``(name, labels)``.
+
+    The registry is the unit of wiring: build one, pass it to
+    ``reservoir.instrument(registry)`` (or a device's ``instrument``),
+    and every layer underneath contributes to the same namespace.
+    Asking twice for the same name and labels returns the *same* metric
+    object, which is how several spindles of a striped volume share one
+    set of counters.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, _LabelKey], Metric] = {}
+
+    def _get_or_create(self, cls: type[Metric], name: str,
+                       labels: Mapping[str, str]) -> Metric:
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(name, labels)
+            self._metrics[key] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {metric.kind}, "
+                f"not {cls.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        """Get or create the :class:`Counter` for ``(name, labels)``."""
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        """Get or create the :class:`Gauge` for ``(name, labels)``."""
+        return self._get_or_create(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels: str) -> Histogram:
+        """Get or create the :class:`Histogram` for ``(name, labels)``."""
+        return self._get_or_create(Histogram, name, labels)
+
+    def timer(self, name: str, **labels: str) -> Timer:
+        """Get or create the :class:`Timer` for ``(name, labels)``."""
+        return self._get_or_create(Timer, name, labels)
+
+    # -- inspection ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self) -> Iterator[Metric]:
+        for key in sorted(self._metrics):
+            yield self._metrics[key]
+
+    def get(self, name: str, **labels: str) -> Metric | None:
+        """The registered metric, or ``None`` (never creates)."""
+        return self._metrics.get((name, _label_key(labels)))
+
+    def value(self, name: str, **labels: str) -> float:
+        """Shorthand: a counter/gauge's value, 0.0 when unregistered."""
+        metric = self.get(name, **labels)
+        if metric is None:
+            return 0.0
+        return getattr(metric, "value", 0.0)
+
+    def as_dict(self) -> dict:
+        """The whole registry as one JSON-ready mapping."""
+        return {"metrics": [m.as_dict() for m in self]}
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """The whole registry serialised as a JSON document."""
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=False)
+
+    def dump(self, sink: IO[str], indent: int | None = 2) -> None:
+        """Write :meth:`to_json` (plus a trailing newline) to ``sink``."""
+        sink.write(self.to_json(indent=indent))
+        sink.write("\n")

@@ -1,0 +1,95 @@
+"""The unified ``stats()`` payload: :class:`ReservoirStats`.
+
+Before this module, cost accounting was scattered: ``DiskModel.stats``,
+``StripedBlockDevice.combined_stats()``, ``ZoneMapIndex.last_stats``,
+``BiasedGeometricFile.overflow_events``, plus ``seen`` /
+``samples_added`` / ``clock`` attributes on every reservoir.  Every
+public structure now answers one question the same way::
+
+    stats = reservoir.stats()
+    stats.samples_added, stats.clock, stats.io.seeks, stats.extra
+
+The object is a frozen snapshot -- safe to keep across further
+ingestion -- and ``as_dict()`` makes it JSON-ready for the CLI's
+``--metrics`` dump.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Mapping
+
+from ..storage.disk_model import DiskStats
+
+
+@dataclass(frozen=True)
+class ReservoirStats:
+    """Frozen snapshot of one reservoir maintainer's progress and cost.
+
+    Attributes:
+        name: the structure's benchmark name ("geo file", "scan", ...).
+        capacity: reservoir size ``N`` in records.
+        seen: stream records presented so far.
+        samples_added: records admitted into the reservoir (the
+            figures' y-axis).
+        flushes: buffer flushes performed (0 for structures that do not
+            flush, e.g. the virtual-memory baseline's steady state).
+        clock: simulated disk seconds consumed so far.
+        io: cumulative device counters (seeks, blocks, seconds), or
+            ``None`` when the backing device has no cost model.
+        extra: structure-specific counters (stack_overflows,
+            overflow_events, n_cohorts, pool hit ratio, ...), read-only.
+    """
+
+    name: str
+    capacity: int
+    seen: int
+    samples_added: int
+    flushes: int
+    clock: float
+    io: DiskStats | None = None
+    extra: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # Freeze the extras so the snapshot really is immutable.
+        object.__setattr__(self, "extra",
+                           MappingProxyType(dict(self.extra)))
+
+    @property
+    def records_per_second(self) -> float:
+        """Admission throughput against the simulated clock."""
+        if self.clock <= 0:
+            return 0.0
+        return self.samples_added / self.clock
+
+    @property
+    def seeks(self) -> int:
+        """Device seek total (0 when there is no cost model)."""
+        return self.io.seeks if self.io is not None else 0
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation (io flattened to a sub-mapping)."""
+        entry = {
+            "name": self.name,
+            "capacity": self.capacity,
+            "seen": self.seen,
+            "samples_added": self.samples_added,
+            "flushes": self.flushes,
+            "clock": self.clock,
+            "records_per_second": self.records_per_second,
+        }
+        if self.io is not None:
+            entry["io"] = {
+                "seeks": self.io.seeks,
+                "reads": self.io.reads,
+                "writes": self.io.writes,
+                "blocks_read": self.io.blocks_read,
+                "blocks_written": self.io.blocks_written,
+                "sequential_blocks": self.io.sequential_blocks,
+                "seek_seconds": self.io.seek_seconds,
+                "transfer_seconds": self.io.transfer_seconds,
+            }
+        if self.extra:
+            entry["extra"] = dict(self.extra)
+        return entry

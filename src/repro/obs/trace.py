@@ -1,0 +1,131 @@
+"""Structured event tracing with a bounded ring buffer.
+
+Metrics answer "how much"; traces answer "what happened, in what
+order".  Every interesting decision a structure makes -- a buffer
+flush, a segment overwrite, a dummy rotation in the multi-file
+construction, a checkpoint, a weight-overflow rescale, a zone-map
+query -- is emitted as a :class:`TraceEvent` carrying the simulated
+clock at emission time, so a trace can be lined up against the
+throughput curves the benchmarks draw.
+
+:class:`TraceSink` retains the most recent ``capacity`` events in a
+ring buffer (a long benchmark run cannot exhaust memory) and can
+optionally stream every event as it happens to a JSONL file, which is
+what the ``repro-bench --trace PATH`` flag does.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from typing import IO, Any, Iterator, Mapping
+
+#: Event kinds the library itself emits; user code may add its own.
+EVENT_KINDS = (
+    "flush",
+    "segment_overwrite",
+    "dummy_rotation",
+    "checkpoint",
+    "overflow",
+    "zone_query",
+)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured event.
+
+    Attributes:
+        seq: global emission index (0-based, never reused; gaps never
+            occur -- the ring buffer drops old events, not sequence
+            numbers).
+        clock: the emitting structure's simulated disk clock, in
+            seconds, at emission time.
+        kind: event type ("flush", "segment_overwrite", ...).
+        source: the emitting structure's name ("geo file", ...).
+        fields: event-specific payload (flush index, level, ...).
+    """
+
+    seq: int
+    clock: float
+    kind: str
+    source: str
+    fields: Mapping[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation (one JSONL line's content)."""
+        return {"seq": self.seq, "clock": self.clock, "kind": self.kind,
+                "source": self.source, "fields": dict(self.fields)}
+
+
+class TraceSink:
+    """Bounded in-memory event store with optional JSONL streaming.
+
+    Args:
+        capacity: ring-buffer size; the oldest events are dropped once
+            exceeded (``dropped`` counts them).
+        stream: optional text file-like object; every event is also
+            written to it immediately as one JSON line.
+    """
+
+    def __init__(self, capacity: int = 65536,
+                 stream: IO[str] | None = None) -> None:
+        if capacity < 1:
+            raise ValueError("trace sink needs room for at least one event")
+        self.capacity = capacity
+        self._events: deque[TraceEvent] = deque(maxlen=capacity)
+        self._stream = stream
+        self._next_seq = 0
+        self._kind_counts: dict[str, int] = {}
+
+    def emit(self, kind: str, source: str, clock: float,
+             **fields: Any) -> TraceEvent:
+        """Record one event; returns the stored :class:`TraceEvent`."""
+        if kind not in EVENT_KINDS:
+            raise ValueError(f"unknown event kind {kind!r}; "
+                             f"expected one of {EVENT_KINDS}")
+        event = TraceEvent(seq=self._next_seq, clock=clock, kind=kind,
+                           source=source, fields=fields)
+        self._next_seq += 1
+        self._events.append(event)
+        self._kind_counts[kind] = self._kind_counts.get(kind, 0) + 1
+        if self._stream is not None:
+            self._stream.write(json.dumps(event.as_dict()))
+            self._stream.write("\n")
+        return event
+
+    # -- inspection ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    @property
+    def total_emitted(self) -> int:
+        """Events emitted over the sink's lifetime (incl. dropped)."""
+        return self._next_seq
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted from the ring buffer so far."""
+        return self._next_seq - len(self._events)
+
+    def events(self, kind: str | None = None,
+               source: str | None = None) -> list[TraceEvent]:
+        """Retained events, optionally filtered by kind and/or source."""
+        return [e for e in self._events
+                if (kind is None or e.kind == kind)
+                and (source is None or e.source == source)]
+
+    def counts(self) -> dict[str, int]:
+        """All-time event counts by kind (not just retained events)."""
+        return dict(sorted(self._kind_counts.items()))
+
+    def to_jsonl(self, sink: IO[str]) -> None:
+        """Write the retained events to ``sink``, one JSON line each."""
+        for event in self._events:
+            sink.write(json.dumps(event.as_dict()))
+            sink.write("\n")

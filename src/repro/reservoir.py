@@ -33,6 +33,8 @@ from typing import Literal
 
 import numpy as np
 
+from .obs.deprecation import warn_deprecated
+from .obs.stats import ReservoirStats
 from .storage.records import Record
 
 AdmissionMode = Literal["always", "uniform"]
@@ -169,10 +171,15 @@ class StreamReservoir(abc.ABC):
         #: Minimum useful ingest chunk for the benchmark runner
         #: (flush-based structures override with their flush quantum).
         self.chunk_floor = 1
-        #: Stream position: records offered so far.
-        self.seen = 0
-        #: Records admitted into the reservoir (the figures' y-axis).
-        self.samples_added = 0
+        # Stream position (records offered) and admissions; exposed
+        # through stats() and the deprecated seen/samples_added shims.
+        self._seen = 0
+        self._samples_added = 0
+        # Observability hooks, attached by instrument().
+        self._obs_name: str = self.name
+        self._registry = None
+        self._trace = None
+        self._event_counters: dict = {}
 
     # -- abstract hooks ----------------------------------------------------
 
@@ -184,18 +191,114 @@ class StreamReservoir(abc.ABC):
     def _admit_count(self, n: int) -> None:
         """Accept ``n`` admitted records without materialising them."""
 
+    def _clock(self) -> float:
+        """Simulated disk seconds consumed so far (subclass hook)."""
+        return 0.0
+
+    # -- observability ------------------------------------------------------
+
+    def stats(self) -> ReservoirStats:
+        """Frozen snapshot of progress and cost; see :class:`ReservoirStats`.
+
+        Every structure answers this identically: stream position,
+        admissions, flushes, simulated clock, the backing device's
+        cumulative I/O counters, and structure-specific extras.
+        """
+        io = None
+        device = getattr(self, "device", None)
+        device_stats = getattr(device, "stats", None)
+        if callable(device_stats):
+            io = device_stats()
+        return ReservoirStats(
+            name=self.name,
+            capacity=self.capacity,
+            seen=self._seen,
+            samples_added=self._samples_added,
+            flushes=int(getattr(self, "flushes", 0)),
+            clock=self._clock(),
+            io=io,
+            extra=self._stats_extra(),
+        )
+
+    def _stats_extra(self) -> dict:
+        """Structure-specific counters for :meth:`stats` (subclass hook)."""
+        return {}
+
+    def instrument(self, registry, trace=None, *, name: str | None = None) -> None:
+        """Attach a metrics registry (and optionally a trace sink).
+
+        The backing device mirrors its I/O counters into ``registry``
+        under the ``structure=name`` label, and every structural event
+        (flush, segment overwrite, ...) bumps an ``events.*`` counter
+        and lands in ``trace``.  Instrumentation charges no simulated
+        time: instrumented and bare runs produce identical clocks.
+
+        Args:
+            registry: a :class:`repro.obs.MetricsRegistry`.
+            trace: optional :class:`repro.obs.TraceSink`.
+            name: label value; defaults to the structure's ``name``.
+        """
+        self._obs_name = name if name is not None else self.name
+        self._registry = registry
+        self._trace = trace
+        self._event_counters = {}
+        device = getattr(self, "device", None)
+        device_instrument = getattr(device, "instrument", None)
+        if callable(device_instrument):
+            device_instrument(registry, name=self._obs_name)
+
+    def _emit(self, kind: str, **fields) -> None:
+        """Record one structural event on the attached observers.
+
+        A no-op (beyond two attribute checks) when the structure is not
+        instrumented, so emission sites can be unconditional.
+        """
+        if self._registry is not None:
+            counter = self._event_counters.get(kind)
+            if counter is None:
+                counter = self._registry.counter(
+                    f"events.{kind}", structure=self._obs_name)
+                self._event_counters[kind] = counter
+            counter.inc()
+        if self._trace is not None:
+            self._trace.emit(kind, self._obs_name, self._clock(), **fields)
+
+    # -- deprecated accessors ----------------------------------------------
+
     @property
-    @abc.abstractmethod
+    def seen(self) -> int:
+        """Deprecated: use ``stats().seen``."""
+        warn_deprecated("StreamReservoir.seen", "stats().seen")
+        return self._seen
+
+    @seen.setter
+    def seen(self, value: int) -> None:
+        self._seen = value
+
+    @property
+    def samples_added(self) -> int:
+        """Deprecated: use ``stats().samples_added``."""
+        warn_deprecated("StreamReservoir.samples_added",
+                        "stats().samples_added")
+        return self._samples_added
+
+    @samples_added.setter
+    def samples_added(self, value: int) -> None:
+        self._samples_added = value
+
+    @property
     def clock(self) -> float:
-        """Simulated disk seconds consumed so far."""
+        """Deprecated: use ``stats().clock``."""
+        warn_deprecated("StreamReservoir.clock", "stats().clock")
+        return self._clock()
 
     # -- ingestion ---------------------------------------------------------
 
     def offer(self, record: Record) -> None:
         """Present one stream record (record-level exact path)."""
-        self.seen += 1
+        self._seen += 1
         if self._admits_current():
-            self.samples_added += 1
+            self._samples_added += 1
             self._admit(record)
 
     def ingest(self, n: int) -> None:
@@ -204,20 +307,20 @@ class StreamReservoir(abc.ABC):
             raise ValueError("cannot ingest a negative count")
         if n == 0:
             return
-        self.seen += n
+        self._seen += n
         if self.admission == "always":
             admitted = n
         else:
             admitted = self._count_uniform_admissions(n)
         if admitted:
-            self.samples_added += admitted
+            self._samples_added += admitted
             self._admit_count(admitted)
 
     def _admits_current(self) -> bool:
-        """Admission decision for the record at position ``self.seen``."""
-        if self.admission == "always" or self.seen <= self.capacity:
+        """Admission decision for the record at position ``self._seen``."""
+        if self.admission == "always" or self._seen <= self.capacity:
             return True
-        return self._rng.random() * self.seen < self.capacity
+        return self._rng.random() * self._seen < self.capacity
 
     @staticmethod
     def apply_pending(disk_records: list[Record], pending: list[Record],
@@ -246,7 +349,7 @@ class StreamReservoir(abc.ABC):
         Vectorised Poisson-binomial draw: each position ``i`` admits
         independently with probability ``min(1, N/i)``.
         """
-        first = self.seen - n + 1
-        positions = np.arange(first, self.seen + 1, dtype=np.float64)
+        first = self._seen - n + 1
+        positions = np.arange(first, self._seen + 1, dtype=np.float64)
         probs = np.minimum(1.0, self.capacity / positions)
         return int((self._np_rng.random(n) < probs).sum())

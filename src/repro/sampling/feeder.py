@@ -63,7 +63,7 @@ def feed_stream(stream: Iterable[Record], reservoir: StreamReservoir,
         return max_records - consumed
 
     # Fill phase: every record is admitted (N/i >= 1).
-    while reservoir.seen < capacity:
+    while reservoir._seen < capacity:
         if remaining() == 0:
             return consumed
         try:
@@ -75,22 +75,22 @@ def feed_stream(stream: Iterable[Record], reservoir: StreamReservoir,
 
     # Steady phase: jump the exact acceptance gap, admit one record.
     while remaining() != 0:
-        if z is None and reservoir.seen > z_threshold * capacity:
+        if z is None and reservoir._seen > z_threshold * capacity:
             z = ZSkipper(capacity, reservoir._rng)
         if z is not None:
-            gap = z.skip(reservoir.seen)
+            gap = z.skip(reservoir._seen)
         else:
-            gap = skip_count_x(capacity, reservoir.seen, reservoir._rng)
+            gap = skip_count_x(capacity, reservoir._seen, reservoir._rng)
         budget = remaining()
         if budget is not None and gap >= budget:
             # The next acceptance lies beyond the record budget: consume
             # the rest of the budget as skipped records and stop.
             consumed += _discard(iterator, budget)
-            reservoir.seen += budget
+            reservoir._seen += budget
             return consumed
         skipped = _discard(iterator, gap)
         consumed += skipped
-        reservoir.seen += skipped
+        reservoir._seen += skipped
         if skipped < gap:
             return consumed  # stream ended inside the gap
         try:
@@ -98,8 +98,8 @@ def feed_stream(stream: Iterable[Record], reservoir: StreamReservoir,
         except StopIteration:
             return consumed
         consumed += 1
-        reservoir.seen += 1
-        reservoir.samples_added += 1
+        reservoir._seen += 1
+        reservoir._samples_added += 1
         reservoir._admit(record)
     return consumed
 

@@ -25,7 +25,7 @@ from __future__ import annotations
 import os
 from typing import Protocol, runtime_checkable
 
-from .disk_model import DiskModel, DiskParameters
+from .disk_model import DiskModel, DiskParameters, DiskStats, _MirroredCounters
 
 
 @runtime_checkable
@@ -111,6 +111,8 @@ class MemoryBlockDevice:
         self._block_size = block_size
         self._n_blocks = n_blocks
         self._data = bytearray(n_blocks * block_size)
+        self._ops = DiskStats()
+        self._metrics: _MirroredCounters | None = None
 
     @property
     def block_size(self) -> int:
@@ -120,9 +122,27 @@ class MemoryBlockDevice:
     def n_blocks(self) -> int:
         return self._n_blocks
 
+    def stats(self) -> DiskStats:
+        """Operation counts so far (the time fields stay zero)."""
+        return self._ops.snapshot()
+
+    def instrument(self, registry, *, name: str = "memory") -> None:
+        """Mirror operation counts into ``registry`` as ``disk.*`` metrics.
+
+        Args:
+            registry: a :class:`repro.obs.MetricsRegistry`.
+            name: value of the ``structure`` label.
+        """
+        self._metrics = _MirroredCounters(registry, name)
+
     def read_blocks(self, block: int, n_blocks: int) -> bytes:
         """Read ``n_blocks`` contiguous blocks starting at ``block``."""
         _check_range(self, block, n_blocks)
+        self._ops.reads += 1
+        self._ops.blocks_read += n_blocks
+        if self._metrics is not None:
+            self._metrics.reads.inc()
+            self._metrics.blocks_read.inc(n_blocks)
         start = block * self._block_size
         return bytes(self._data[start:start + n_blocks * self._block_size])
 
@@ -132,6 +152,11 @@ class MemoryBlockDevice:
             raise ValueError("data must be a whole number of blocks")
         n_blocks = len(data) // self._block_size
         _check_range(self, block, n_blocks)
+        self._ops.writes += 1
+        self._ops.blocks_written += n_blocks
+        if self._metrics is not None:
+            self._metrics.writes.inc()
+            self._metrics.blocks_written.inc(n_blocks)
         start = block * self._block_size
         self._data[start:start + len(data)] = data
 
@@ -183,6 +208,19 @@ class SimulatedBlockDevice:
     def clock(self) -> float:
         """Simulated seconds of disk time consumed so far."""
         return self.model.clock
+
+    def stats(self) -> DiskStats:
+        """Snapshot of the cost model's cumulative counters."""
+        return self.model.stats.snapshot()
+
+    def instrument(self, registry, *, name: str = "disk") -> None:
+        """Mirror the cost model's counters into ``registry``.
+
+        Args:
+            registry: a :class:`repro.obs.MetricsRegistry`.
+            name: value of the ``structure`` label.
+        """
+        self.model.instrument(registry, name=name)
 
     def read_blocks(self, block: int, n_blocks: int) -> bytes:
         """Read (and charge) ``n_blocks``; zeros unless data is retained."""
@@ -249,10 +287,25 @@ class FileBlockDevice:
         self._file.seek(0, os.SEEK_END)
         if self._file.tell() < size:
             self._file.truncate(size)
+        self._ops = DiskStats()
+        self._metrics: _MirroredCounters | None = None
 
     @property
     def path(self) -> str:
         return self._path
+
+    def stats(self) -> DiskStats:
+        """Operation counts so far (the time fields stay zero)."""
+        return self._ops.snapshot()
+
+    def instrument(self, registry, *, name: str = "file") -> None:
+        """Mirror operation counts into ``registry`` as ``disk.*`` metrics.
+
+        Args:
+            registry: a :class:`repro.obs.MetricsRegistry`.
+            name: value of the ``structure`` label.
+        """
+        self._metrics = _MirroredCounters(registry, name)
 
     @property
     def block_size(self) -> int:
@@ -265,6 +318,11 @@ class FileBlockDevice:
     def read_blocks(self, block: int, n_blocks: int) -> bytes:
         """Read ``n_blocks`` contiguous blocks from the backing file."""
         _check_range(self, block, n_blocks)
+        self._ops.reads += 1
+        self._ops.blocks_read += n_blocks
+        if self._metrics is not None:
+            self._metrics.reads.inc()
+            self._metrics.blocks_read.inc(n_blocks)
         self._file.seek(block * self._block_size)
         want = n_blocks * self._block_size
         data = self._file.read(want)
@@ -278,6 +336,11 @@ class FileBlockDevice:
             raise ValueError("data must be a whole number of blocks")
         n_blocks = len(data) // self._block_size
         _check_range(self, block, n_blocks)
+        self._ops.writes += 1
+        self._ops.blocks_written += n_blocks
+        if self._metrics is not None:
+            self._metrics.writes.inc()
+            self._metrics.blocks_written.inc(n_blocks)
         self._file.seek(block * self._block_size)
         self._file.write(data)
 

@@ -121,6 +121,39 @@ class DiskStats:
         )
 
 
+class _MirroredCounters:
+    """Registry counters that shadow one :class:`DiskStats` instance.
+
+    Every field of :class:`DiskStats` gets a ``disk.*`` counter labelled
+    ``structure=<name>``.  :class:`DiskModel` bumps these with exactly
+    the amounts (and in exactly the order) it applies to its own stats,
+    which keeps the registry bit-identical to the model's accounting --
+    the reconciliation property ``tests/test_obs.py`` asserts.
+    """
+
+    __slots__ = ("seeks", "reads", "writes", "blocks_read",
+                 "blocks_written", "sequential_blocks", "seek_seconds",
+                 "transfer_seconds")
+
+    def __init__(self, registry, name: str) -> None:
+        labels = {"structure": name}
+        self.seeks = registry.counter("disk.seeks", **labels)
+        self.reads = registry.counter("disk.reads", **labels)
+        self.writes = registry.counter("disk.writes", **labels)
+        self.blocks_read = registry.counter("disk.blocks_read", **labels)
+        self.blocks_written = registry.counter(
+            "disk.blocks_written", **labels)
+        self.sequential_blocks = registry.counter(
+            "disk.sequential_blocks", **labels)
+        self.seek_seconds = registry.counter("disk.seek_seconds", **labels)
+        self.transfer_seconds = registry.counter(
+            "disk.transfer_seconds", **labels)
+
+    def reset(self) -> None:
+        for slot in self.__slots__:
+            getattr(self, slot).reset()
+
+
 class DiskModel:
     """Simulated disk head with an accumulated clock.
 
@@ -142,6 +175,24 @@ class DiskModel:
         self.params = params or DiskParameters()
         self.stats = DiskStats()
         self._head: int | None = None  # block address after last access
+        self._metrics: _MirroredCounters | None = None
+
+    def instrument(self, registry, *, name: str = "disk") -> None:
+        """Mirror every counter into ``registry`` as ``disk.*`` metrics.
+
+        Each increment to :attr:`stats` is repeated, with the same
+        amount and in the same order, on a registry counter labelled
+        ``structure=name`` -- so the registry totals are *equal* (not
+        approximately equal) to the model's own accounting, and the
+        mirroring itself charges no simulated time.  Several models may
+        share one name (a striped volume's spindles); the registry
+        hands them the same counter objects, which sums them.
+
+        Args:
+            registry: a :class:`repro.obs.MetricsRegistry`.
+            name: value of the ``structure`` label.
+        """
+        self._metrics = _MirroredCounters(registry, name)
 
     @property
     def clock(self) -> float:
@@ -170,24 +221,38 @@ class DiskModel:
             raise ValueError("must transfer at least one block")
 
         p = self.params
+        m = self._metrics
         elapsed = 0.0
         if self._head != block:
             self.stats.seeks += 1
             elapsed += p.seek_time
             self.stats.seek_seconds += p.seek_time
+            if m is not None:
+                m.seeks.inc()
+                m.seek_seconds.inc(p.seek_time)
         else:
             self.stats.sequential_blocks += n_blocks
+            if m is not None:
+                m.sequential_blocks.inc(n_blocks)
 
         transfer = n_blocks * p.block_transfer_time + p.settle_time
         elapsed += transfer
         self.stats.transfer_seconds += transfer
+        if m is not None:
+            m.transfer_seconds.inc(transfer)
 
         if write:
             self.stats.writes += 1
             self.stats.blocks_written += n_blocks
+            if m is not None:
+                m.writes.inc()
+                m.blocks_written.inc(n_blocks)
         else:
             self.stats.reads += 1
             self.stats.blocks_read += n_blocks
+            if m is not None:
+                m.reads.inc()
+                m.blocks_read.inc(n_blocks)
 
         self._head = block + n_blocks
         return elapsed
@@ -210,6 +275,9 @@ class DiskModel:
         """
         self.stats.seeks += 1
         self.stats.seek_seconds += self.params.seek_time
+        if self._metrics is not None:
+            self._metrics.seeks.inc()
+            self._metrics.seek_seconds.inc(self.params.seek_time)
         self._head = None
 
     def idle(self, seconds: float) -> None:
@@ -222,8 +290,12 @@ class DiskModel:
         if seconds < 0:
             raise ValueError("cannot idle for negative time")
         self.stats.transfer_seconds += seconds
+        if self._metrics is not None:
+            self._metrics.transfer_seconds.inc(seconds)
 
     def reset(self) -> None:
         """Zero the clock and statistics; forget the head position."""
         self.stats = DiskStats()
         self._head = None
+        if self._metrics is not None:
+            self._metrics.reset()

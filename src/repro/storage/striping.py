@@ -25,6 +25,7 @@ a single simulated or real device.
 
 from __future__ import annotations
 
+from ..obs.deprecation import warn_deprecated
 from .disk_model import DiskModel, DiskParameters, DiskStats
 
 
@@ -108,11 +109,11 @@ class StripedBlockDevice:
     @property
     def model(self) -> DiskModel:
         """The busiest spindle (duck-type compatibility for harnesses
-        that read ``device.model.stats``; use :meth:`combined_stats`
-        for volume-wide counters)."""
+        that read ``device.model.stats``; use :meth:`stats` for
+        volume-wide counters)."""
         return max(self.disks, key=lambda d: d.clock)
 
-    def combined_stats(self) -> DiskStats:
+    def stats(self) -> DiskStats:
         """Sum of all spindles' counters."""
         total = DiskStats()
         for disk in self.disks:
@@ -126,6 +127,26 @@ class StripedBlockDevice:
             total.seek_seconds += s.seek_seconds
             total.transfer_seconds += s.transfer_seconds
         return total
+
+    def combined_stats(self) -> DiskStats:
+        """Deprecated alias for :meth:`stats`."""
+        warn_deprecated("StripedBlockDevice.combined_stats()", "stats()")
+        return self.stats()
+
+    def instrument(self, registry, *, name: str = "disk") -> None:
+        """Mirror every spindle's counters into ``registry``.
+
+        All spindles share the ``structure=name`` label, so the
+        registry hands them the same counter objects and the metrics
+        are automatically the volume-wide sums -- equal to
+        :meth:`stats`.
+
+        Args:
+            registry: a :class:`repro.obs.MetricsRegistry`.
+            name: value of the ``structure`` label.
+        """
+        for disk in self.disks:
+            disk.instrument(registry, name=name)
 
     # -- internals ----------------------------------------------------------------
 

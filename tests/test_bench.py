@@ -60,7 +60,13 @@ class TestExperimentSpecs:
 
     def test_bad_scale_rejected(self):
         with pytest.raises(ValueError):
-            experiment_1(scale=0)
+            experiment_1(scale=-1)
+
+    def test_scale_zero_is_smoke_mode(self):
+        spec = experiment_1(scale=0)
+        assert spec.capacity == ExperimentSpec.SMOKE_CAPACITY
+        assert spec.buffer_capacity == ExperimentSpec.SMOKE_BUFFER
+        assert 0 < spec.horizon_seconds < 60
 
 
 class TestRunner:

@@ -1,0 +1,40 @@
+"""Perf regression gate for the batch-ingestion pipeline.
+
+Runs the :mod:`repro.bench.perf` harness (the same code behind
+``repro-bench --perf-smoke``) at a reduced stream length and asserts
+the batch paths have not regressed to per-record speed.  Thresholds
+are deliberately far below the measured ratios (5x asserted vs ~14-26x
+measured for the buffered structures, see BENCH_ingest.json) so the
+gate trips on architectural regressions -- a batch path quietly
+falling back to the scalar loop -- not on machine noise.
+
+Wall-clock benchmarks are kept out of tier-1: run with
+
+    PYTHONPATH=src python -m pytest benchmarks/perf_smoke.py -m perf -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.perf import perf_smoke, render_report
+
+RECORDS = 200_000
+
+
+@pytest.mark.perf
+def test_batch_ingest_speedups():
+    report = perf_smoke(records=RECORDS)
+    print()
+    print(render_report(report))
+    assert report["min_buffered_speedup"] >= 5.0, (
+        "a buffered structure's offer_many path regressed toward "
+        "per-record speed"
+    )
+    assert report["feed_stream"]["speedup"] >= 3.0, (
+        "batched skip feeding regressed toward the scalar loop"
+    )
+    vm = report["structures"]["virtual mem"]
+    # Batching cannot beat the per-record LRU walk, but it must never
+    # be slower than the scalar loop.
+    assert vm["speedup"] >= 0.9

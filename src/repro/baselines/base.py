@@ -121,7 +121,8 @@ class BufferedDiskReservoir(StreamReservoir):
         self.config = config
         self.schema = RecordSchema(config.record_size)
         self.buffer = SampleBuffer(config.buffer_capacity, self._rng,
-                                   retain_records=config.retain_records)
+                                   retain_records=config.retain_records,
+                                   np_rng=self._np_rng)
         self._fill_appender = SequentialAppender(device, self.schema)
         self._filled = 0
         self._fill_records: list[Record] | None = (
@@ -164,6 +165,21 @@ class BufferedDiskReservoir(StreamReservoir):
             self._emit("flush", index=self.flushes, records=count,
                        phase="steady")
 
+    def _admit_many(self, records: list[Record | None]) -> None:
+        # Batch form of _admit: the fill-phase prefix goes out as one
+        # sequential append, the rest through the buffer's vectorised
+        # absorb, flushing at the same boundaries as the scalar loop.
+        i = self._fill_from_batch(records)
+        n = len(records)
+        while i < n:
+            i += self.buffer.absorb_many(records, self.capacity, start=i)
+            if self.buffer.is_full:
+                drained, _, count = self.buffer.drain()
+                self._steady_flush(drained, count)
+                self.flushes += 1
+                self._emit("flush", index=self.flushes, records=count,
+                           phase="steady")
+
     def _admit_count(self, n: int) -> None:
         if self.in_fill_phase:
             take = min(n, self.capacity - self._filled)
@@ -194,6 +210,22 @@ class BufferedDiskReservoir(StreamReservoir):
             self._fill_records.append(record)
         if not self.in_fill_phase:
             self._complete_fill()
+
+    def _fill_from_batch(self, records: list[Record | None]) -> int:
+        """Consume a batch's fill-phase prefix; returns records taken."""
+        if not self.in_fill_phase:
+            return 0
+        take = min(len(records), self.capacity - self._filled)
+        self._fill_appender.append(take)
+        self._filled += take
+        if self._fill_records is not None:
+            chunk = records[:take]
+            if any(r is None for r in chunk):
+                raise ValueError("record-retaining mode needs the record")
+            self._fill_records.extend(chunk)
+        if not self.in_fill_phase:
+            self._complete_fill()
+        return take
 
     def _complete_fill(self) -> None:
         self._fill_appender.finish()

@@ -99,6 +99,27 @@ class VirtualMemoryReservoir(BufferedDiskReservoir):
         for _ in range(n):
             self._overwrite_random_slot(None)
 
+    def _admit_many(self, records: list[Record | None]) -> None:
+        # One vectorised slot draw for the whole steady-state suffix;
+        # each slot still walks the LRU pool (the pool is the point of
+        # this baseline), but the randrange-per-record overhead is gone.
+        i = self._fill_from_batch(records)
+        n = len(records)
+        if i >= n:
+            return
+        slots = self._np_rng.integers(0, self.capacity, size=n - i)
+        records_per_block = self.schema.records_per_block(
+            self.device.block_size
+        )
+        for j, slot in enumerate(slots.tolist()):
+            block = slot // records_per_block
+            self.pool.get(block)
+            self.pool.mark_dirty(block)
+            if self._records is not None:
+                record = records[i + j]
+                if record is not None:
+                    self._records[slot] = record
+
     def _overwrite_random_slot(self, record: Record | None) -> None:
         slot = self._rng.randrange(self.capacity)
         block = slot // self.schema.records_per_block(self.device.block_size)

@@ -8,6 +8,7 @@ from .experiments import (
     experiment_2,
     experiment_3,
 )
+from .perf import perf_smoke, render_report, write_report
 from .report import ascii_chart, io_summary_table, throughput_table, to_csv
 from .runner import RunResult, SeriesPoint, run_until
 
@@ -21,7 +22,10 @@ __all__ = [
     "experiment_2",
     "experiment_3",
     "io_summary_table",
+    "perf_smoke",
+    "render_report",
     "run_until",
     "throughput_table",
     "to_csv",
+    "write_report",
 ]

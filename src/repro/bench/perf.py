@@ -1,0 +1,170 @@
+"""Ingest-throughput micro-benchmark (the batch-pipeline smoke test).
+
+Measures wall-clock records/second for the three ingestion paths of
+every alternative at the fixed ``scale=0`` smoke configuration:
+
+* ``offer`` -- the per-record scalar loop (the *before* number);
+* ``offer_many`` -- the vectorised batch path (the *after* number);
+* ``feed_stream`` -- Vitter skip feeding, scalar vs batched gap draws,
+  for the uniform-admission geometric file.
+
+The point is regression detection, not absolute speed: the report
+(``BENCH_ingest.json``) pins the measured speedups so a change that
+quietly sends the batch path back through per-record Python shows up
+as a collapsed ratio.  Simulated-disk I/O is identical between paths
+by construction (the admission law is the same); only Python CPU time
+differs, so wall-clock is the right metric.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Callable
+
+from ..reservoir import StreamReservoir
+from ..sampling.feeder import feed_stream
+from .experiments import ALTERNATIVE_NAMES, ExperimentSpec, experiment_1
+
+#: Default stream length: several smoke-reservoir fills, enough to put
+#: every structure well into its steady state.
+DEFAULT_RECORDS = 400_000
+
+#: Default records per offer_many call.
+DEFAULT_BATCH = 4096
+
+
+def _time_run(total: int, step: Callable[[int], None],
+              chunk: int) -> float:
+    """Drive ``step`` over ``total`` records; returns records/second."""
+    start = time.perf_counter()
+    done = 0
+    while done < total:
+        take = min(chunk, total - done)
+        step(take)
+        done += take
+    elapsed = time.perf_counter() - start
+    return total / max(elapsed, 1e-9)
+
+
+def measure_structure(spec: ExperimentSpec, name: str, *,
+                      records: int = DEFAULT_RECORDS,
+                      batch_size: int = DEFAULT_BATCH) -> dict:
+    """offer vs offer_many throughput for one alternative."""
+    scalar = spec.make(name)
+    batch = [None] * batch_size
+
+    def offer_step(take: int) -> None:
+        offer = scalar.offer
+        for _ in range(take):
+            offer(None)
+
+    offer_rps = _time_run(records, offer_step, batch_size)
+
+    batched = spec.make(name)
+
+    def offer_many_step(take: int) -> None:
+        batched.offer_many(batch if take == batch_size else [None] * take)
+
+    offer_many_rps = _time_run(records, offer_many_step, batch_size)
+    if scalar.stats().seen != batched.stats().seen:
+        raise AssertionError("paths consumed different stream lengths")
+    return {
+        "offer_rps": round(offer_rps),
+        "offer_many_rps": round(offer_many_rps),
+        "speedup": round(offer_many_rps / offer_rps, 2),
+    }
+
+
+def measure_feed(spec: ExperimentSpec, *, records: int = DEFAULT_RECORDS,
+                 batch_size: int = DEFAULT_BATCH) -> dict:
+    """Scalar vs batched skip feeding on a uniform-admission geo file."""
+    stream = [None] * records
+
+    def run(feed_batch: int) -> float:
+        from ..core.geometric_file import GeometricFile, GeometricFileConfig
+        from ..storage.device import SimulatedBlockDevice
+
+        config = GeometricFileConfig(
+            capacity=spec.capacity,
+            buffer_capacity=spec.buffer_capacity,
+            record_size=spec.record_size,
+            admission="uniform",
+        )
+        params = spec.disk_parameters()
+        blocks = GeometricFile.required_blocks(config, params.block_size)
+        reservoir = GeometricFile(SimulatedBlockDevice(blocks, params),
+                                  config, seed=spec.seed)
+        start = time.perf_counter()
+        consumed = feed_stream(stream, reservoir, batch_size=feed_batch)
+        elapsed = time.perf_counter() - start
+        if consumed != records:
+            raise AssertionError(f"fed {consumed} of {records} records")
+        return records / max(elapsed, 1e-9)
+
+    scalar_rps = run(1)
+    batched_rps = run(batch_size)
+    return {
+        "scalar_rps": round(scalar_rps),
+        "batched_rps": round(batched_rps),
+        "speedup": round(batched_rps / scalar_rps, 2),
+    }
+
+
+def perf_smoke(*, records: int = DEFAULT_RECORDS,
+               batch_size: int = DEFAULT_BATCH, seed: int = 0,
+               names: tuple[str, ...] = ALTERNATIVE_NAMES) -> dict:
+    """Run the whole ingest benchmark; returns the report dict."""
+    spec = experiment_1(scale=0, seed=seed)
+    structures = {
+        name: measure_structure(spec, name, records=records,
+                                batch_size=batch_size)
+        for name in names
+    }
+    report = {
+        "benchmark": "batch-ingest smoke",
+        "config": {
+            "capacity": spec.capacity,
+            "buffer_capacity": spec.buffer_capacity,
+            "record_size": spec.record_size,
+            "records": records,
+            "batch_size": batch_size,
+            "seed": seed,
+        },
+        "structures": structures,
+        "feed_stream": measure_feed(spec, records=records,
+                                    batch_size=batch_size),
+        # The virtual-memory baseline is excluded from the headline
+        # ratio: its steady state is one stateful LRU-pool walk per
+        # record (that per-record cost is the paper's argument against
+        # it), so batching only removes the admission overhead.
+        "min_buffered_speedup": min(
+            (row["speedup"] for name, row in structures.items()
+             if name != "virtual mem"), default=0.0,
+        ),
+    }
+    return report
+
+
+def render_report(report: dict) -> str:
+    """Human-readable table of the report dict."""
+    lines = ["ingest throughput (records/second, wall clock)", ""]
+    header = (f"  {'structure':<22} {'offer':>12} {'offer_many':>12} "
+              f"{'speedup':>8}")
+    lines.append(header)
+    for name, row in report["structures"].items():
+        lines.append(f"  {name:<22} {row['offer_rps']:>12,} "
+                     f"{row['offer_many_rps']:>12,} "
+                     f"{row['speedup']:>7.1f}x")
+    feed = report["feed_stream"]
+    lines.append("")
+    lines.append(f"  {'feed_stream (uniform)':<22} "
+                 f"{feed['scalar_rps']:>12,} {feed['batched_rps']:>12,} "
+                 f"{feed['speedup']:>7.1f}x")
+    return "\n".join(lines)
+
+
+def write_report(report: dict, path: str) -> None:
+    with open(path, "w", encoding="ascii") as sink:
+        json.dump(report, sink, indent=2, sort_keys=True)
+        sink.write("\n")

@@ -18,6 +18,7 @@ Examples::
     repro-bench fig7b --scale 1 --csv results.csv
     repro-bench fig7c --only "geo file" --only "multiple geo files"
     repro-bench fig7a --scale 0 --metrics - --trace /tmp/trace.jsonl
+    repro-bench --perf-smoke BENCH_ingest.json --batch-size 4096
 """
 
 from __future__ import annotations
@@ -34,9 +35,12 @@ from .bench import (
     experiment_2,
     experiment_3,
     io_summary_table,
+    perf_smoke,
+    render_report,
     run_until,
     throughput_table,
     to_csv,
+    write_report,
 )
 from .obs import MetricsRegistry, TraceSink
 
@@ -53,11 +57,23 @@ def build_parser() -> argparse.ArgumentParser:
         description="Reproduce the SIGMOD 2004 geometric-file benchmarks.",
     )
     parser.add_argument("experiment", choices=sorted(_EXPERIMENTS),
-                        help="which Figure 7 panel to run")
+                        nargs="?", default=None,
+                        help="which Figure 7 panel to run (optional with "
+                             "--perf-smoke)")
     parser.add_argument("--scale", type=int, default=100,
                         help="record-count divisor; 1 = paper scale, "
                              "0 = fixed smoke configuration "
                              "(default: 100)")
+    parser.add_argument("--batch-size", type=int, default=None,
+                        metavar="N",
+                        help="records per ingest chunk for the Figure 7 "
+                             "runs, and per offer_many batch for "
+                             "--perf-smoke")
+    parser.add_argument("--perf-smoke", metavar="PATH", nargs="?",
+                        const="BENCH_ingest.json", default=None,
+                        help="run the batch-ingest throughput benchmark "
+                             "instead of a Figure 7 panel and write its "
+                             "JSON report (default: BENCH_ingest.json)")
     parser.add_argument("--seed", type=int, default=0,
                         help="RNG seed (default: 0)")
     parser.add_argument("--only", action="append", default=None,
@@ -77,7 +93,21 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.batch_size is not None and args.batch_size < 1:
+        parser.error("--batch-size must be at least 1")
+    if args.perf_smoke is not None:
+        kwargs = {"seed": args.seed}
+        if args.batch_size is not None:
+            kwargs["batch_size"] = args.batch_size
+        report = perf_smoke(**kwargs)
+        print(render_report(report))
+        write_report(report, args.perf_smoke)
+        print(f"\nwrote {args.perf_smoke}")
+        return 0
+    if args.experiment is None:
+        parser.error("an experiment is required unless --perf-smoke is set")
     spec = _EXPERIMENTS[args.experiment](scale=args.scale, seed=args.seed)
     names = args.only or list(ALTERNATIVE_NAMES)
 
@@ -106,7 +136,8 @@ def main(argv: list[str] | None = None) -> int:
         reservoir = spec.make(name)
         if observing:
             reservoir.instrument(registry, trace)
-        result = run_until(reservoir, spec.horizon_seconds)
+        result = run_until(reservoir, spec.horizon_seconds,
+                           chunk_records=args.batch_size)
         print(f"  ran {name:<20} ({time.time() - t0:6.1f}s wall, "
               f"{result.final_samples:>16,} samples)")
         results.append(result)

@@ -107,6 +107,21 @@ class BiasedSamplingMixin:
         if self.buffer.is_full:
             self._flush()
 
+    def offer_many(self, records) -> int:
+        """Present a batch of records through the weighted path.
+
+        Algorithm 4's admission probability depends on ``totalWeight``,
+        which every record updates, so the decisions are inherently
+        sequential -- this exists for interface parity with the uniform
+        structures (the inherited vectorised gate would apply the wrong
+        admission law), not as a fast path.
+        """
+        before = self._samples_added
+        offer = self.offer
+        for record in records:
+            offer(record)
+        return self._samples_added - before
+
     def ingest(self, n: int) -> None:
         """Count-only ingestion is undefined for weighted streams."""
         raise TypeError(

@@ -19,7 +19,9 @@ sweep, exactly as in
 from __future__ import annotations
 
 import random
-from typing import Iterator
+from typing import Iterator, Sequence
+
+import numpy as np
 
 from ..storage.records import Record
 
@@ -36,14 +38,19 @@ class SampleBuffer:
             mode (``False``) powers the large benchmark runs, where
             per-record Python objects would dominate the cost of the
             experiment without affecting any I/O behaviour.
+        np_rng: numpy generator for the batched coin flips of
+            :meth:`absorb_many`; derived deterministically from ``rng``
+            when not supplied.
     """
 
     def __init__(self, capacity: int, rng: random.Random,
-                 *, retain_records: bool = True) -> None:
+                 *, retain_records: bool = True,
+                 np_rng: np.random.Generator | None = None) -> None:
         if capacity < 1:
             raise ValueError("buffer capacity must be at least 1")
         self.capacity = capacity
         self._rng = rng
+        self._np_rng = np_rng
         self._retain = retain_records
         self._records: list[Record] | None = [] if retain_records else None
         self._weights: list[float] | None = None
@@ -157,6 +164,116 @@ class SampleBuffer:
             self._weights.append(weight / self._scale)
         self._count += 1
         return True
+
+    def extend(self, records: Sequence[Record | None]) -> None:
+        """Batch :meth:`append` for the start-up phase.
+
+        No eviction branch exists while the reservoir is filling, so a
+        whole slice of admitted records joins in one list extension.
+        Weighted buffers append per record (weights are per-record
+        state).
+        """
+        n = len(records)
+        if n == 0:
+            return
+        if self._count + n > self.capacity:
+            raise ValueError("extend would overfill the buffer")
+        if self._weights is not None:
+            raise TypeError("weighted buffers append per record")
+        if self._records is not None:
+            if any(record is None for record in records):
+                raise ValueError("record-retaining buffer needs the record")
+            self._records.extend(records)
+        self._count += n
+
+    def absorb_many(self, records: Sequence[Record | None],
+                    reservoir_size: int, *, start: int = 0) -> int:
+        """Batch :meth:`add_admitted`: one vectorised coin-flip draw.
+
+        Processes ``records[start:]`` until the buffer fills or the
+        batch is exhausted, and returns how many records were consumed
+        -- the caller flushes on ``is_full`` and re-enters with the
+        remainder, mirroring Algorithm 2's per-record flush check.
+
+        The in-buffer replacement probability ``count/|R|`` depends on
+        the running join count, so the decisions are not i.i.d.; the
+        batch draw exploits that the count assuming *all* prior records
+        joined is an upper bound on the true count.  Records whose
+        uniform exceeds even that bound are certain joins (the vast
+        majority, since ``count/|R| <= B/N``); only the rare candidates
+        below the bound are resolved sequentially.  Identical output
+        distribution to a loop of :meth:`add_admitted` calls (tested).
+        """
+        if self.is_full:
+            raise ValueError("buffer full; flush before admitting more")
+        if self._weights is not None:
+            raise TypeError("weighted buffers admit per record; "
+                            "use add_admitted")
+        n = len(records)
+        if not 0 <= start <= n:
+            raise ValueError(f"start {start} outside the batch of {n}")
+        consumed = 0
+        while start + consumed < n and not self.is_full:
+            room = self.capacity - self._count
+            chunk = min(n - start - consumed, max(2 * room, 64))
+            consumed += self._absorb_chunk(records, start + consumed,
+                                           chunk, reservoir_size)
+        return consumed
+
+    def _absorb_chunk(self, records: Sequence[Record | None], base: int,
+                      m: int, reservoir_size: int) -> int:
+        if self._np_rng is None:
+            self._np_rng = np.random.default_rng(self._rng.getrandbits(64))
+        w = self._np_rng.random(m) * reservoir_size
+        # Count upper bound at each index: every prior record joined.
+        candidates = np.flatnonzero(w < self._count + np.arange(m))
+        count = self._count
+        cap = self.capacity
+        #: Confirmed replacements as (batch index, count at that moment).
+        replaces: list[tuple[int, int]] = []
+        consumed = m
+        prev = -1
+        for j in candidates:
+            j = int(j)
+            gap = j - prev - 1  # certain joins between candidates
+            if count + gap >= cap:
+                consumed = prev + 1 + (cap - count)
+                count = cap
+                break
+            count += gap
+            if w[j] < count:
+                replaces.append((j, count))
+            else:
+                count += 1
+                if count >= cap:
+                    consumed = j + 1
+                    prev = j
+                    break
+            prev = j
+        else:
+            tail = m - prev - 1
+            if count + tail >= cap:
+                consumed = prev + 1 + (cap - count)
+                count = cap
+            else:
+                count += tail
+        if self._records is not None:
+            if any(records[base + j] is None for j in range(consumed)):
+                raise ValueError("record-retaining buffer needs the record")
+            recs = self._records
+            position = 0
+            for j, _count_at in replaces:
+                recs.extend(records[base + position:base + j])
+                position = j + 1
+            recs.extend(records[base + position:base + consumed])
+            # Replaying the replacements after the joins is equivalent
+            # to interleaving: joins only append, and each replacement
+            # slot draw uses the buffer size of its own moment.
+            randrange = self._rng.randrange
+            for j, count_at in replaces:
+                recs[randrange(count_at)] = records[base + j]
+        self._count = count
+        return consumed
 
     def scale_weights(self, factor: float) -> None:
         """Section 7.3.2 step (2): scale every buffered effective weight."""

@@ -29,7 +29,12 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from ..reservoir import AdmissionMode, StreamReservoir, draw_victim_counts
+from ..reservoir import (
+    AdmissionMode,
+    StreamReservoir,
+    VictimScratch,
+    draw_victim_counts_array,
+)
 from ..storage.device import (
     BlockDevice,
     SimulatedBlockDevice,
@@ -137,8 +142,10 @@ class GeometricFile(StreamReservoir):
             n_stack_regions=self.ladder.n_disk_segments + 2,
         )
         self.buffer = SampleBuffer(config.buffer_capacity, self._rng,
-                                   retain_records=config.retain_records)
+                                   retain_records=config.retain_records,
+                                   np_rng=self._np_rng)
         self.subsamples: list[SubsampleLedger] = []
+        self._victim_scratch = VictimScratch()
         self._startup_sizes = startup_fill_sizes(
             config.capacity, config.buffer_capacity, self.alpha
         )
@@ -231,6 +238,28 @@ class GeometricFile(StreamReservoir):
         if self.buffer.is_full:
             self._flush()
 
+    def _admit_many(self, records: list[Record | None]) -> None:
+        # Batch form of _admit: start-up slices join the buffer in one
+        # list extension per flush target; steady state hands whole
+        # sub-batches to the buffer's vectorised absorb, flushing
+        # whenever it reports the buffer full.  Same flush boundaries
+        # and record-level distribution as the per-record loop.
+        i = 0
+        n = len(records)
+        while i < n:
+            if self.in_startup:
+                target = self._startup_sizes[self._startup_index]
+                take = min(n - i, target - self.buffer.count)
+                self.buffer.extend(records[i:i + take])
+                i += take
+                if self.buffer.count >= target:
+                    self._startup_flush()
+            else:
+                i += self.buffer.absorb_many(records, self.capacity,
+                                             start=i)
+                if self.buffer.is_full:
+                    self._flush()
+
     def _admit_count(self, n: int) -> None:
         # Count-only fast path: the in-buffer replacement branch
         # (probability <= B/N per admission) is folded into joins; this
@@ -313,9 +342,11 @@ class GeometricFile(StreamReservoir):
         exactly the counts of a uniform random ``count``-subset of the
         ``N`` live disk records.
         """
-        lives = [ledger.live for ledger in self.subsamples]
-        counts = draw_victim_counts(self._np_rng, lives, count)
-        for ledger, k in zip(self.subsamples, counts):
+        lives = self._victim_scratch.view(len(self.subsamples))
+        for i, ledger in enumerate(self.subsamples):
+            lives[i] = ledger.live
+        counts = draw_victim_counts_array(self._np_rng, lives, count)
+        for ledger, k in zip(self.subsamples, counts.tolist()):
             if k:
                 ledger.evict(k)
 

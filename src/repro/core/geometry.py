@@ -15,6 +15,7 @@ three.
 
 from __future__ import annotations
 
+import functools
 import math
 from dataclasses import dataclass
 
@@ -166,6 +167,7 @@ class SegmentLadder:
         return sum(self.segment_sizes[level:]) + self.tail_size
 
 
+@functools.lru_cache(maxsize=256)
 def build_ladder(buffer_records: int, alpha: float,
                  beta_records: int) -> SegmentLadder:
     """Partition a subsample of ``buffer_records`` into a segment ladder.
@@ -175,6 +177,12 @@ def build_ladder(buffer_records: int, alpha: float,
     rounding the *cumulative* series so no records are lost.  Rungs that
     round to zero are dropped (their mass lands in the tail), which only
     happens at toy scales.
+
+    Memoized: the ladder is immutable and rebuilt with identical
+    arguments by ``required_blocks``, every constructor, and every
+    checkpoint restore -- at paper scale the cumulative-rounding loop
+    runs ~10,000 iterations, so the cache removes it from every path
+    but the first.
 
     Raises:
         ValueError: on non-positive sizes or alpha outside (0, 1).
@@ -195,15 +203,18 @@ def build_ladder(buffer_records: int, alpha: float,
                          tail_size=tail)
 
 
+@functools.lru_cache(maxsize=256)
 def startup_fill_sizes(reservoir_records: int, buffer_records: int,
-                       alpha: float) -> list[int]:
+                       alpha: float) -> tuple[int, ...]:
     """Figure 3's start-up schedule: how full the buffer gets per flush.
 
     The first initial subsample uses the whole buffer, the second
     ``alpha`` of it, the third ``alpha**2``, ... until the reservoir is
     full.  Integer sizes again come from cumulative rounding, so they
     sum to exactly ``reservoir_records``; the (tiny) final flush is
-    clipped.
+    clipped.  Memoized (and therefore returned as an immutable tuple):
+    the schedule is recomputed with identical arguments on every
+    construction and checkpoint restore.
     """
     if reservoir_records < buffer_records:
         raise ValueError("reservoir smaller than one buffer-full")
@@ -224,7 +235,7 @@ def startup_fill_sizes(reservoir_records: int, buffer_records: int,
         sizes.append(size)
         cumulative = c
         k += 1
-    return sizes
+    return tuple(sizes)
 
 
 def _check_alpha(alpha: float) -> None:

@@ -107,6 +107,12 @@ class ManagedSample:
         self.sample.offer(record)
         self._maybe_checkpoint()
 
+    def offer_many(self, records) -> int:
+        """Present a batch of records; checkpoints on schedule."""
+        admitted = self.sample.offer_many(records)
+        self._maybe_checkpoint()
+        return admitted
+
     def ingest(self, n: int) -> None:
         """Count-only ingestion (unbiased kinds only)."""
         self.sample.ingest(n)

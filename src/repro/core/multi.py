@@ -35,7 +35,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..reservoir import StreamReservoir, draw_victim_counts
+from ..reservoir import (
+    StreamReservoir,
+    VictimScratch,
+    draw_victim_counts_array,
+)
 from ..storage.device import BlockDevice, SimulatedBlockDevice
 from ..storage.records import Record, RecordSchema
 from .buffer import SampleBuffer
@@ -107,7 +111,9 @@ class MultipleGeometricFiles(StreamReservoir):
         )
         self.files = self._build_files(device)
         self.buffer = SampleBuffer(config.buffer_capacity, self._rng,
-                                   retain_records=config.retain_records)
+                                   retain_records=config.retain_records,
+                                   np_rng=self._np_rng)
+        self._victim_scratch = VictimScratch()
         self._startup_sizes = startup_fill_sizes(
             config.capacity, config.buffer_capacity, self.alpha
         )
@@ -228,6 +234,26 @@ class MultipleGeometricFiles(StreamReservoir):
         if self.buffer.is_full:
             self._flush()
 
+    def _admit_many(self, records: list[Record | None]) -> None:
+        # Same batching as GeometricFile._admit_many: list extension
+        # during start-up, vectorised absorb in steady state, flushing
+        # at exactly the per-record boundaries.
+        i = 0
+        n = len(records)
+        while i < n:
+            if self.in_startup:
+                target = self._startup_sizes[self._startup_index]
+                take = min(n - i, target - self.buffer.count)
+                self.buffer.extend(records[i:i + take])
+                i += take
+                if self.buffer.count >= target:
+                    self._startup_flush()
+            else:
+                i += self.buffer.absorb_many(records, self.capacity,
+                                             start=i)
+                if self.buffer.is_full:
+                    self._flush()
+
     def _admit_count(self, n: int) -> None:
         # Same count-only simplification as the single file: in-buffer
         # replacements are folded into joins (see GeometricFile).
@@ -333,9 +359,11 @@ class MultipleGeometricFiles(StreamReservoir):
     def _evict_victims(self, count: int) -> None:
         """Algorithm 3 across every subsample of every file."""
         ledgers = list(self._all_ledgers())
-        lives = [ledger.live for ledger in ledgers]
-        counts = draw_victim_counts(self._np_rng, lives, count)
-        for ledger, k in zip(ledgers, counts):
+        lives = self._victim_scratch.view(len(ledgers))
+        for i, ledger in enumerate(ledgers):
+            lives[i] = ledger.live
+        counts = draw_victim_counts_array(self._np_rng, lives, count)
+        for ledger, k in zip(ledgers, counts.tolist()):
             if k:
                 ledger.evict(k)
 

@@ -8,10 +8,15 @@ reservoir of ``N`` records fed from a stream, admitting records online.
 benchmark harness (:mod:`repro.bench`) can drive any of them
 identically.
 
-Two ingestion paths exist:
+Three ingestion paths exist:
 
 * :meth:`offer` -- record-at-a-time, exact, keeps record payloads when
   the implementation retains them.  Tests and examples use this.
+* :meth:`offer_many` -- the batch fast path: one vectorised admission
+  draw for a whole slice of the stream, then a single
+  :meth:`_admit_many` call.  Same output distribution as a loop of
+  ``offer`` calls (tested), at a fraction of the per-record Python
+  cost.  See docs/PERFORMANCE.md.
 * :meth:`ingest` -- count-only fast path for paper-scale benchmark
   runs (billions of records).  Implementations advance all counters and
   charge all I/O exactly as ``offer`` would, but skip per-record Python
@@ -121,6 +126,80 @@ def draw_victim_counts(rng: np.random.Generator, lives: list[int],
     return counts
 
 
+def draw_victim_counts_array(rng: np.random.Generator, lives: np.ndarray,
+                             count: int) -> np.ndarray:
+    """Array-native :func:`draw_victim_counts` for the flush hot path.
+
+    ``lives`` is an int64 population vector (typically a view into a
+    :class:`VictimScratch` buffer, so steady-state flushes allocate no
+    per-flush Python lists).  The common case -- every population within
+    numpy's 1e9 limit -- is a single ``multivariate_hypergeometric``
+    call; anything larger falls back to the exact list-based
+    decomposition.
+    """
+    if count < 0:
+        raise ValueError("victim count must be non-negative")
+    m = int(lives.shape[0])
+    total = int(lives.sum())
+    if count > total:
+        raise ValueError("more victims than live records")
+    if count == 0:
+        return np.zeros(m, dtype=np.int64)
+    if m == 1:
+        return np.array([count], dtype=np.int64)
+    if total < _NUMPY_HYPERGEOMETRIC_LIMIT:
+        return rng.multivariate_hypergeometric(lives, count,
+                                               method="marginals")
+    return np.asarray(
+        draw_victim_counts(rng, [int(v) for v in lives], count),
+        dtype=np.int64,
+    )
+
+
+class VictimScratch:
+    """A reusable population buffer for Algorithm 3's victim draws.
+
+    Steady-state flushing previously rebuilt a Python list of subsample
+    sizes and converted it to a fresh numpy array on *every* flush; this
+    scratch hands out views into one preallocated int64 buffer that
+    grows geometrically and is reused across flushes.
+    """
+
+    __slots__ = ("_buf",)
+
+    def __init__(self) -> None:
+        self._buf = np.empty(0, dtype=np.int64)
+
+    def view(self, n: int) -> np.ndarray:
+        """A writable length-``n`` view, reallocating only on growth."""
+        if self._buf.shape[0] < n:
+            self._buf = np.empty(max(n, 2 * self._buf.shape[0], 16),
+                                 dtype=np.int64)
+        return self._buf[:n]
+
+
+def _distinct_integers(rng: np.random.Generator, low: int, high: int,
+                       k: int) -> np.ndarray:
+    """A uniform random ``k``-subset of ``[low, high)`` in O(k) memory.
+
+    Rejection-based: overdraw, deduplicate, repeat until ``k`` distinct
+    values exist, then thin to exactly ``k`` (uniform by exchangeability
+    of the values).  Callers guarantee ``k`` is at most half the range,
+    so the expected number of rounds is O(1).
+    """
+    span = high - low
+    if k >= span:
+        return np.arange(low, high, dtype=np.int64)
+    values = np.unique(rng.integers(low, high, size=k, dtype=np.int64))
+    while values.shape[0] < k:
+        extra = rng.integers(low, high, size=2 * (k - values.shape[0]) + 8,
+                             dtype=np.int64)
+        values = np.unique(np.concatenate([values, extra]))
+    if values.shape[0] > k:
+        values = rng.choice(values, size=k, replace=False)
+    return values
+
+
 def _balanced_split(lives: list[int], total: int) -> int:
     """Index splitting ``lives`` into two halves of roughly equal mass.
 
@@ -190,6 +269,17 @@ class StreamReservoir(abc.ABC):
     @abc.abstractmethod
     def _admit_count(self, n: int) -> None:
         """Accept ``n`` admitted records without materialising them."""
+
+    def _admit_many(self, records: list[Record | None]) -> None:
+        """Accept a batch of admitted records (subclass batch hook).
+
+        The default is the per-record loop, so every structure gets
+        :meth:`offer_many` for free; flush-based structures override
+        this with a buffer-level batch absorb.
+        """
+        admit = self._admit
+        for record in records:
+            admit(record)
 
     def _clock(self) -> float:
         """Simulated disk seconds consumed so far (subclass hook)."""
@@ -301,6 +391,45 @@ class StreamReservoir(abc.ABC):
             self._samples_added += 1
             self._admit(record)
 
+    def offer_many(self, records) -> int:
+        """Present a batch of stream records (vectorised fast path).
+
+        One numpy draw decides every admission in the batch, and the
+        admitted records reach the structure through a single
+        :meth:`_admit_many` call, so the per-record Python cost
+        collapses to array slicing.  The output distribution is
+        identical to calling :meth:`offer` once per record (tested in
+        ``tests/test_batch_ingest.py``); only the RNG stream consumed
+        differs.
+
+        Args:
+            records: a sequence of records (``None`` payloads are legal
+                in count-only mode, exactly as for :meth:`offer`).
+
+        Returns:
+            The number of records admitted into the reservoir.
+        """
+        if not isinstance(records, (list, tuple)):
+            records = list(records)
+        n = len(records)
+        if n == 0:
+            return 0
+        first = self._seen + 1
+        last = self._seen + n
+        self._seen = last
+        if self.admission == "always" or last <= self.capacity:
+            admitted = records if isinstance(records, list) else list(records)
+        else:
+            positions = np.arange(first, last + 1, dtype=np.float64)
+            mask = (self._np_rng.random(n) * positions) < self.capacity
+            if first <= self.capacity:
+                mask[:self.capacity - first + 1] = True
+            admitted = [records[i] for i in np.flatnonzero(mask)]
+        if admitted:
+            self._samples_added += len(admitted)
+            self._admit_many(admitted)
+        return len(admitted)
+
     def ingest(self, n: int) -> None:
         """Present ``n`` stream records (count-only fast path)."""
         if n < 0:
@@ -321,6 +450,34 @@ class StreamReservoir(abc.ABC):
         if self.admission == "always" or self._seen <= self.capacity:
             return True
         return self._rng.random() * self._seen < self.capacity
+
+    # -- protected feeder API -----------------------------------------------
+    #
+    # Skip-based drivers (repro.sampling.feeder) decide admissions
+    # *outside* the reservoir -- the gap draw is the N/i law -- and use
+    # these two hooks to report the outcome, instead of poking _seen /
+    # _samples_added / _admit directly.  Keeping the writes here means
+    # stats() invariants and future batch hooks hold for every caller.
+
+    def _advance_skipped(self, n: int) -> None:
+        """Record that ``n`` stream records passed by unsampled."""
+        if n < 0:
+            raise ValueError("cannot skip a negative number of records")
+        self._seen += n
+
+    def _accept(self, record: Record | None) -> None:
+        """Accept one stream record whose admission was decided upstream."""
+        self._seen += 1
+        self._samples_added += 1
+        self._admit(record)
+
+    def _accept_many(self, records: list[Record | None]) -> None:
+        """Batch form of :meth:`_accept` (one :meth:`_admit_many` call)."""
+        if not records:
+            return
+        self._seen += len(records)
+        self._samples_added += len(records)
+        self._admit_many(records)
 
     @staticmethod
     def apply_pending(disk_records: list[Record], pending: list[Record],
@@ -343,13 +500,63 @@ class StreamReservoir(abc.ABC):
                      if i not in victims]
         return survivors + list(pending)
 
+    #: Dense-draw chunk bound for _count_uniform_admissions: caps every
+    #: transient allocation at ~8 MB regardless of the ingest size.
+    _ADMISSION_CHUNK = 1 << 20
+
     def _count_uniform_admissions(self, n: int) -> int:
         """Exactly sample how many of ``n`` offers pass the ``N/i`` gate.
 
-        Vectorised Poisson-binomial draw: each position ``i`` admits
-        independently with probability ``min(1, N/i)``.
+        The count is a Poisson-binomial draw (position ``i`` admits
+        independently with probability ``min(1, N/i)``), decomposed into
+        chunks of bounded memory so ``ingest(10**9)`` never allocates an
+        O(n) array:
+
+        * positions at or below ``N`` always admit -- O(1);
+        * a chunk ``[a, b]`` with ``b < 2a`` and ``N/a <= 1/2`` is drawn
+          in two exact stages: ``K ~ Binomial(b - a + 1, N/a)``
+          candidate positions (a uniform K-subset of the chunk), each
+          thinned with probability ``(N/j) / (N/a) = a/j`` -- O(K)
+          memory with ``E[K] <= (b - a + 1) / 2``;
+        * the few chunks where ``N/a > 1/2`` (positions within 2x of
+          capacity) fall back to the dense vectorised Bernoulli draw,
+          bounded by ``_ADMISSION_CHUNK`` positions.
+
+        The two-stage split is exact: a Bernoulli(``N/j``) event is the
+        conjunction of independent Bernoulli(``N/a``) and
+        Bernoulli(``a/j``) events, and the Binomial successes of i.i.d.
+        trials form a uniform subset of the positions.
         """
-        first = self._seen - n + 1
-        positions = np.arange(first, self._seen + 1, dtype=np.float64)
-        probs = np.minimum(1.0, self.capacity / positions)
-        return int((self._np_rng.random(n) < probs).sum())
+        last = self._seen
+        first = last - n + 1
+        rng = self._np_rng
+        capacity = self.capacity
+        admitted = 0
+        if first <= capacity:
+            bound = min(last, capacity)
+            admitted += bound - first + 1
+            first = bound + 1
+        a = first
+        while a <= last:
+            b = min(last, 2 * a - 1, a + self._ADMISSION_CHUNK - 1)
+            length = b - a + 1
+            p_max = capacity / a
+            if p_max > 0.5:
+                positions = np.arange(a, b + 1, dtype=np.float64)
+                admitted += int(((rng.random(length) * positions)
+                                 < capacity).sum())
+            else:
+                k = int(rng.binomial(length, p_max))
+                if k:
+                    if 2 * k > length:
+                        # An extreme binomial draw can exceed the
+                        # rejection sampler's guarantee; a dense draw
+                        # over the (chunk-bounded) range stays exact.
+                        pool = rng.permutation(
+                            np.arange(a, b + 1, dtype=np.int64))
+                        candidates = pool[:k]
+                    else:
+                        candidates = _distinct_integers(rng, a, b + 1, k)
+                    admitted += int(((rng.random(k) * candidates) < a).sum())
+            a = b + 1
+        return admitted

@@ -5,7 +5,7 @@ from .biased_reservoir import BiasedReservoir
 from .deletions import RandomPairingReservoir
 from .feeder import feed_stream
 from .reservoir import ReservoirSample, sample_without_replacement
-from .skip import SkipReservoir, ZSkipper, skip_count_x
+from .skip import SkipReservoir, ZSkipper, gaps_z, skip_count_x
 from .weights import (
     WeightFunction,
     clamped,
@@ -25,6 +25,7 @@ __all__ = [
     "ZSkipper",
     "clamped",
     "exponential_recency",
+    "gaps_z",
     "linear_recency",
     "sample_without_replacement",
     "skip_count_x",

@@ -15,82 +15,145 @@ work for *rejected* records is a single ``next()`` call instead of a
 coin flip plus bookkeeping.  The output distribution is identical to
 calling ``reservoir.offer`` per record (tested); only the CPU cost
 changes.
+
+Two execution modes share that contract:
+
+* ``batch_size=1`` -- the original record-at-a-time loop: one scalar
+  gap draw per acceptance, one ``next()`` per record.
+* ``batch_size > 1`` (the default) -- :func:`~repro.sampling.skip.gaps_z`
+  draws a whole batch of gaps at once; sequence-backed streams (lists,
+  arrays -- anything sized and indexable) then advance by pure index
+  arithmetic, touching only the accepted records, and iterator-backed
+  streams discard skips through :func:`itertools.islice` instead of a
+  ``next()``-per-record loop.  Accepted records reach the reservoir
+  through one batched ``_accept_many`` call per gap batch.
+
+All reservoir state changes go through the protected feeder API
+(:meth:`~repro.reservoir.StreamReservoir._advance_skipped`,
+:meth:`~repro.reservoir.StreamReservoir._accept`,
+:meth:`~repro.reservoir.StreamReservoir._accept_many`), so ``stats()``
+invariants and subclass batch hooks hold exactly as for ``offer``.
 """
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+from itertools import islice
 from typing import Iterable, Iterator
+
+import numpy as np
 
 from ..reservoir import StreamReservoir
 from ..storage.records import Record
-from .skip import ZSkipper, skip_count_x
+from .skip import ZSkipper, gaps_z, skip_count_x
+
+#: Gap draws per gaps_z call in batched mode.
+DEFAULT_BATCH = 256
 
 
 def feed_stream(stream: Iterable[Record], reservoir: StreamReservoir,
                 max_records: int | None = None, *,
-                z_threshold: float = 22.0) -> int:
+                z_threshold: float = 22.0,
+                batch_size: int = DEFAULT_BATCH) -> int:
     """Drive ``reservoir`` from ``stream`` using skip-based admission.
 
     Args:
-        stream: the record source.
+        stream: the record source.  Sequences (anything supporting
+            ``len`` and indexing) take the zero-copy index-arithmetic
+            fast path in batched mode.
         reservoir: a structure constructed with ``admission="uniform"``
             (skip counting *is* the N/i law; "always" mode has nothing
             to skip and should use plain offers or ``ingest``).
         max_records: stop after this many stream records (``None`` =
             run until the stream ends).
         z_threshold: switch from Algorithm X to Algorithm Z once
-            ``seen > z_threshold * capacity``.
+            ``seen > z_threshold * capacity`` (scalar mode only; the
+            batched gap generator has no X/Z split).
+        batch_size: gaps drawn per batch; ``1`` selects the original
+            scalar loop.
 
     Returns:
         The number of stream records consumed.
 
     Raises:
-        ValueError: if the reservoir is not in uniform-admission mode.
+        ValueError: if the reservoir is not in uniform-admission mode,
+            or ``batch_size`` is not positive.
     """
     if reservoir.admission != "uniform":
         raise ValueError(
             "skip feeding implements the uniform N/i admission law; "
             "construct the reservoir with admission='uniform'"
         )
+    if batch_size < 1:
+        raise ValueError("batch_size must be at least 1")
+    if batch_size > 1 and isinstance(stream, Sequence):
+        return _feed_sequence(stream, reservoir, max_records,
+                              batch=batch_size)
     iterator: Iterator[Record] = iter(stream)
+    consumed = _feed_fill(iterator, reservoir, max_records)
+    if reservoir._seen < reservoir.capacity:
+        return consumed  # stream or budget ended during the fill
+    if batch_size > 1:
+        return consumed + _feed_iterator_batched(
+            iterator, reservoir,
+            None if max_records is None else max_records - consumed,
+            batch=batch_size,
+        )
+    return consumed + _feed_iterator_scalar(
+        iterator, reservoir,
+        None if max_records is None else max_records - consumed,
+        z_threshold=z_threshold,
+    )
+
+
+# -- fill phase ------------------------------------------------------------
+
+
+def _feed_fill(iterator: Iterator[Record], reservoir: StreamReservoir,
+               max_records: int | None) -> int:
+    """Admit every record until the reservoir is full (N/i >= 1)."""
+    consumed = 0
+    while reservoir._seen < reservoir.capacity:
+        want = reservoir.capacity - reservoir._seen
+        if max_records is not None:
+            want = min(want, max_records - consumed)
+        if want <= 0:
+            return consumed
+        chunk = list(islice(iterator, want))
+        if not chunk:
+            return consumed
+        consumed += len(chunk)
+        reservoir._accept_many(chunk)
+    return consumed
+
+
+# -- steady state: scalar (the original loop) ------------------------------
+
+
+def _feed_iterator_scalar(iterator: Iterator[Record],
+                          reservoir: StreamReservoir,
+                          budget: int | None, *,
+                          z_threshold: float) -> int:
     consumed = 0
     capacity = reservoir.capacity
     z: ZSkipper | None = None
-
-    def remaining() -> int | None:
-        if max_records is None:
-            return None
-        return max_records - consumed
-
-    # Fill phase: every record is admitted (N/i >= 1).
-    while reservoir._seen < capacity:
-        if remaining() == 0:
-            return consumed
-        try:
-            record = next(iterator)
-        except StopIteration:
-            return consumed
-        consumed += 1
-        reservoir.offer(record)
-
-    # Steady phase: jump the exact acceptance gap, admit one record.
-    while remaining() != 0:
+    while budget is None or consumed < budget:
         if z is None and reservoir._seen > z_threshold * capacity:
             z = ZSkipper(capacity, reservoir._rng)
         if z is not None:
             gap = z.skip(reservoir._seen)
         else:
             gap = skip_count_x(capacity, reservoir._seen, reservoir._rng)
-        budget = remaining()
-        if budget is not None and gap >= budget:
+        if budget is not None and gap >= budget - consumed:
             # The next acceptance lies beyond the record budget: consume
             # the rest of the budget as skipped records and stop.
-            consumed += _discard(iterator, budget)
-            reservoir._seen += budget
+            skipped = _discard(iterator, budget - consumed)
+            consumed += skipped
+            reservoir._advance_skipped(skipped)
             return consumed
         skipped = _discard(iterator, gap)
         consumed += skipped
-        reservoir._seen += skipped
+        reservoir._advance_skipped(skipped)
         if skipped < gap:
             return consumed  # stream ended inside the gap
         try:
@@ -98,19 +161,98 @@ def feed_stream(stream: Iterable[Record], reservoir: StreamReservoir,
         except StopIteration:
             return consumed
         consumed += 1
-        reservoir._seen += 1
-        reservoir._samples_added += 1
-        reservoir._admit(record)
+        reservoir._accept(record)
     return consumed
+
+
+# -- steady state: batched gap draws ---------------------------------------
+
+
+def _feed_iterator_batched(iterator: Iterator[Record],
+                           reservoir: StreamReservoir,
+                           budget: int | None, *, batch: int) -> int:
+    consumed = 0
+    capacity = reservoir.capacity
+    rng = reservoir._np_rng
+    while budget is None or consumed < budget:
+        gaps = gaps_z(capacity, reservoir._seen, batch, rng)
+        accepted: list[Record] = []
+        for gap in gaps.tolist():
+            if budget is not None and gap >= budget - consumed:
+                skipped = _discard(iterator, budget - consumed)
+                consumed += skipped
+                reservoir._accept_many(accepted)
+                reservoir._advance_skipped(skipped)
+                return consumed
+            skipped = _discard(iterator, gap)
+            consumed += skipped
+            if skipped < gap:
+                reservoir._accept_many(accepted)
+                reservoir._advance_skipped(skipped)
+                return consumed  # stream ended inside the gap
+            try:
+                record = next(iterator)
+            except StopIteration:
+                reservoir._accept_many(accepted)
+                reservoir._advance_skipped(skipped)
+                return consumed
+            consumed += 1
+            reservoir._advance_skipped(skipped)
+            accepted.append(record)
+        reservoir._accept_many(accepted)
+    return consumed
+
+
+def _feed_sequence(sequence: Sequence[Record],
+                   reservoir: StreamReservoir,
+                   max_records: int | None, *, batch: int) -> int:
+    """Index-arithmetic feeding: skipped records are never touched."""
+    limit = len(sequence)
+    if max_records is not None:
+        limit = min(limit, max_records)
+    position = 0  # records of `sequence` consumed so far
+
+    # Fill phase: every record is admitted.
+    if reservoir._seen < reservoir.capacity:
+        take = min(limit, reservoir.capacity - reservoir._seen)
+        if take > 0:
+            reservoir._accept_many(list(sequence[:take]))
+            position = take
+        if reservoir._seen < reservoir.capacity:
+            return position
+
+    capacity = reservoir.capacity
+    rng = reservoir._np_rng
+    while position < limit:
+        gaps = gaps_z(capacity, reservoir._seen, batch, rng)
+        # 1-based offsets (from `position`) of the accepted records.
+        offsets = np.cumsum(gaps + 1)
+        in_range = int(np.searchsorted(offsets, limit - position,
+                                       side="right"))
+        accepted = [sequence[position + off - 1]
+                    for off in offsets[:in_range].tolist()]
+        if in_range < batch:
+            # The next acceptance lies past the limit: everything up to
+            # the limit is consumed, accepted records admitted, the
+            # rest skipped.
+            reservoir._accept_many(accepted)
+            reservoir._advance_skipped(limit - position - in_range)
+            position = limit
+            break
+        advance = int(offsets[-1])
+        reservoir._accept_many(accepted)
+        reservoir._advance_skipped(advance - in_range)
+        position += advance
+    return position
 
 
 def _discard(iterator: Iterator[Record], n: int) -> int:
     """Consume up to ``n`` items; returns how many were available."""
     taken = 0
     while taken < n:
-        try:
-            next(iterator)
-        except StopIteration:
+        chunk = min(n - taken, 4096)
+        got = sum(1 for _ in islice(iterator, chunk))
+        taken += got
+        if got < chunk:
             break
-        taken += 1
     return taken

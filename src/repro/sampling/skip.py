@@ -24,7 +24,75 @@ import math
 import random
 from typing import Iterator, TypeVar
 
+import numpy as np
+
 T = TypeVar("T")
+
+
+def gaps_z(n: int, seen: int, k: int,
+           rng: np.random.Generator) -> np.ndarray:
+    """``k`` consecutive acceptance gaps in one vectorised draw.
+
+    Returns an int64 array ``g`` where ``g[0]`` is the number of
+    records skipped after stream position ``seen`` before the next
+    acceptance, ``g[1]`` the skip after *that* acceptance, and so on --
+    the same joint distribution as ``k`` sequential
+    :func:`skip_count_x` / :class:`ZSkipper` draws (tested), because
+    the acceptance events are exactly independent Bernoullis: record
+    ``j`` of the stream is accepted with probability ``n/j``
+    regardless of earlier outcomes.  The implementation draws whole
+    blocks of those Bernoullis with numpy and reads the gaps off the
+    hit indices, so the cost per gap is O(1) array work instead of a
+    Python-level rejection loop per acceptance.
+
+    Args:
+        n: reservoir capacity (the reservoir must be full:
+            ``seen >= n >= 1``).
+        seen: stream position after which the first gap starts.
+        k: number of gaps to produce.
+        rng: numpy generator (vectorised draws need numpy's API; the
+            scalar helpers keep ``random.Random`` for compatibility).
+    """
+    if n < 1 or seen < n:
+        raise ValueError("requires a full reservoir: seen >= n >= 1")
+    if k < 0:
+        raise ValueError("cannot draw a negative number of gaps")
+    out = np.empty(k, dtype=np.int64)
+    filled = 0
+    t = seen          # records consumed so far
+    pending = 0       # skips accumulated since the last acceptance
+    while filled < k:
+        # E[gap] ~ (t - n)/n; size the block for the remaining gaps
+        # with a little slack so one draw usually suffices.
+        mean_run = (t + 1) / n
+        block = int(mean_run * (k - filled) * 1.25) + 16
+        positions = np.arange(t + 1, t + block + 1, dtype=np.float64)
+        hits = np.flatnonzero(rng.random(block) * positions < n)
+        if hits.shape[0] == 0:
+            pending += block
+            t += block
+            continue
+        take = min(k - filled, hits.shape[0])
+        kept = hits[:take]
+        gaps = np.diff(kept, prepend=-1) - 1
+        gaps[0] += pending
+        out[filled:filled + take] = gaps
+        filled += take
+        if take < hits.shape[0]:
+            # Truncated at the k-th acceptance: every draw past it --
+            # hit or miss alike, chosen without looking at the outcomes
+            # -- is discarded, so redrawing those positions later is an
+            # independent fresh start.
+            pending = 0
+            t += int(kept[-1]) + 1
+        else:
+            # The whole block is resolved: the trailing misses are
+            # *decided* (redrawing them would give those positions a
+            # second acceptance chance), so they carry into the next
+            # gap as pending skips.
+            pending = block - (int(kept[-1]) + 1)
+            t += block
+    return out
 
 
 def skip_count_x(n: int, seen: int, rng: random.Random) -> int:

@@ -56,7 +56,9 @@ from .estimate import SampleQuery, required_sample_size
 from .obs import MetricsRegistry, ReservoirStats, TraceEvent, TraceSink
 from .reservoir import StreamReservoir
 from .sampling import BiasedReservoir, ReservoirSample, SkipReservoir
+from .service import ShardedReservoir
 from .storage import (
+    DeviceSpec,
     DiskModel,
     DiskParameters,
     FileBlockDevice,
@@ -72,6 +74,7 @@ __all__ = [
     "BiasedGeometricFile",
     "BiasedMultipleGeometricFiles",
     "BiasedReservoir",
+    "DeviceSpec",
     "DiskModel",
     "DiskParameters",
     "DiskReservoirConfig",
@@ -89,6 +92,7 @@ __all__ = [
     "SampleQuery",
     "ScanReservoir",
     "SensorStream",
+    "ShardedReservoir",
     "SimulatedBlockDevice",
     "SkipReservoir",
     "StreamReservoir",

@@ -8,7 +8,13 @@ from .experiments import (
     experiment_2,
     experiment_3,
 )
-from .perf import perf_smoke, render_report, write_report
+from .perf import (
+    perf_smoke,
+    render_report,
+    render_shard_report,
+    shard_smoke,
+    write_report,
+)
 from .report import ascii_chart, io_summary_table, throughput_table, to_csv
 from .runner import RunResult, SeriesPoint, run_until
 
@@ -24,7 +30,9 @@ __all__ = [
     "io_summary_table",
     "perf_smoke",
     "render_report",
+    "render_shard_report",
     "run_until",
+    "shard_smoke",
     "throughput_table",
     "to_csv",
     "write_report",

@@ -19,6 +19,7 @@ differs, so wall-clock is the right metric.
 from __future__ import annotations
 
 import json
+import tempfile
 import time
 from typing import Callable
 
@@ -144,6 +145,142 @@ def perf_smoke(*, records: int = DEFAULT_RECORDS,
         ),
     }
     return report
+
+
+def _shard_config(spec: ExperimentSpec, shards: int):
+    """Per-shard sizing: the smoke reservoir split ``shards`` ways.
+
+    Holding the *total* capacity fixed is what makes the comparison a
+    scale-out one: ``S`` shards each own ``1/S`` of the reservoir and
+    absorb ``1/S`` of the stream on their own simulated spindle.
+    """
+    from ..core.geometric_file import GeometricFileConfig
+
+    return GeometricFileConfig(
+        capacity=spec.capacity // shards,
+        buffer_capacity=spec.buffer_capacity // shards,
+        record_size=spec.record_size,
+        admission="uniform",
+    )
+
+
+def _run_sharded(spec: ExperimentSpec, shards: int, *, records: int,
+                 batch_size: int, pool: str, queue_depth: int,
+                 measure_recovery: bool) -> dict:
+    """Drive one ShardedReservoir over the stream; returns its row."""
+    from ..service import ShardedReservoir
+
+    config = _shard_config(spec, shards)
+    batch = [None] * batch_size
+    with tempfile.TemporaryDirectory(prefix="repro-shard-bench-") as root:
+        with ShardedReservoir(root, config, shards=shards, pool=pool,
+                              partition="round-robin",
+                              queue_depth=queue_depth,
+                              seed=spec.seed) as service:
+            start = time.perf_counter()
+            done = 0
+            while done < records:
+                take = min(batch_size, records - done)
+                service.offer_many(batch if take == batch_size
+                                   else [None] * take)
+                done += take
+            stats = service.stats()  # drains every inbox: a barrier
+            wall = time.perf_counter() - start
+            per_shard = [
+                {
+                    "shard": i,
+                    "seen": s.seen,
+                    "sim_clock": round(s.clock, 3),
+                    "sim_rps": round(s.seen / max(s.clock, 1e-9)),
+                }
+                for i, s in enumerate(service.shard_stats())
+            ]
+            row = {
+                "wall_rps": round(records / max(wall, 1e-9)),
+                "sim_clock": round(stats.clock, 3),
+                "sim_rps": round(records / max(stats.clock, 1e-9)),
+                "per_shard": per_shard,
+                "queue_depth": queue_depth,
+                "backpressure_stalls": service.backpressure_stalls,
+            }
+            if measure_recovery:
+                service.kill_shard(0, hard=pool == "process")
+                service.recover()
+                row["recoveries"] = service.recoveries
+                row["recovery_seconds"] = round(
+                    service.last_recovery_seconds, 4)
+            return row
+
+
+def shard_smoke(*, shards: int = 4, records: int = DEFAULT_RECORDS,
+                batch_size: int = DEFAULT_BATCH, seed: int = 0,
+                pool: str = "process", queue_depth: int = 8) -> dict:
+    """Single-shard vs ``shards``-way ingest at the smoke configuration.
+
+    Reports wall-clock *and* simulated-disk throughput.  The headline
+    number is the simulated one: each shard owns an independent
+    simulated spindle and the aggregate clock is the slowest shard
+    (:func:`repro.obs.aggregate_stats`), so the simulated speedup
+    measures the parallelism of the sharded layout itself, independent
+    of how many CPU cores the benchmark host happens to have.
+    """
+    if shards < 2:
+        raise ValueError("the shard benchmark needs at least 2 shards")
+    spec = experiment_1(scale=0, seed=seed)
+    single = _run_sharded(spec, 1, records=records, batch_size=batch_size,
+                          pool=pool, queue_depth=queue_depth,
+                          measure_recovery=False)
+    sharded = _run_sharded(spec, shards, records=records,
+                           batch_size=batch_size, pool=pool,
+                           queue_depth=queue_depth, measure_recovery=True)
+    return {
+        "benchmark": "sharded ingest smoke",
+        "config": {
+            "capacity_total": spec.capacity,
+            "buffer_total": spec.buffer_capacity,
+            "record_size": spec.record_size,
+            "records": records,
+            "batch_size": batch_size,
+            "shards": shards,
+            "pool": pool,
+            "queue_depth": queue_depth,
+            "seed": seed,
+        },
+        "single": single,
+        "sharded": sharded,
+        "sim_speedup": round(sharded["sim_rps"] / single["sim_rps"], 2),
+        "wall_speedup": round(sharded["wall_rps"] / single["wall_rps"], 2),
+    }
+
+
+def render_shard_report(report: dict) -> str:
+    """Human-readable table of the shard_smoke report dict."""
+    config = report["config"]
+    single, sharded = report["single"], report["sharded"]
+    lines = [
+        f"sharded ingest (pool={config['pool']}, "
+        f"{config['records']:,} records, batch {config['batch_size']})",
+        "",
+        f"  {'layout':<16} {'wall rps':>12} {'sim rps':>12} "
+        f"{'sim clock':>10}",
+        f"  {'1 shard':<16} {single['wall_rps']:>12,} "
+        f"{single['sim_rps']:>12,} {single['sim_clock']:>9.2f}s",
+        f"  {str(config['shards']) + ' shards':<16} "
+        f"{sharded['wall_rps']:>12,} {sharded['sim_rps']:>12,} "
+        f"{sharded['sim_clock']:>9.2f}s",
+        "",
+        f"  simulated speedup: {report['sim_speedup']:.1f}x"
+        f"   wall speedup: {report['wall_speedup']:.1f}x",
+        f"  queue depth: {sharded['queue_depth']}"
+        f"   backpressure stalls: {sharded['backpressure_stalls']}"
+        f"   recovery: {sharded['recovery_seconds'] * 1000:.1f} ms",
+        "",
+        f"  {'shard':<8} {'seen':>10} {'sim rps':>12} {'sim clock':>10}",
+    ]
+    for row in sharded["per_shard"]:
+        lines.append(f"  {row['shard']:<8} {row['seen']:>10,} "
+                     f"{row['sim_rps']:>12,} {row['sim_clock']:>9.2f}s")
+    return "\n".join(lines)
 
 
 def render_report(report: dict) -> str:

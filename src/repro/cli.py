@@ -19,6 +19,7 @@ Examples::
     repro-bench fig7c --only "geo file" --only "multiple geo files"
     repro-bench fig7a --scale 0 --metrics - --trace /tmp/trace.jsonl
     repro-bench --perf-smoke BENCH_ingest.json --batch-size 4096
+    repro-bench --shards 4 --pool process
 """
 
 from __future__ import annotations
@@ -37,7 +38,9 @@ from .bench import (
     io_summary_table,
     perf_smoke,
     render_report,
+    render_shard_report,
     run_until,
+    shard_smoke,
     throughput_table,
     to_csv,
     write_report,
@@ -74,6 +77,19 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run the batch-ingest throughput benchmark "
                              "instead of a Figure 7 panel and write its "
                              "JSON report (default: BENCH_ingest.json)")
+    parser.add_argument("--shards", type=int, default=None, metavar="N",
+                        help="run the sharded-service ingest benchmark "
+                             "with N shard workers instead of a Figure 7 "
+                             "panel and write BENCH_shard.json")
+    parser.add_argument("--shard-report", metavar="PATH",
+                        default="BENCH_shard.json",
+                        help="report path for --shards "
+                             "(default: BENCH_shard.json)")
+    parser.add_argument("--pool", choices=("process", "inline"),
+                        default="process",
+                        help="worker harness for --shards: real worker "
+                             "processes or the deterministic in-process "
+                             "pool (default: process)")
     parser.add_argument("--seed", type=int, default=0,
                         help="RNG seed (default: 0)")
     parser.add_argument("--only", action="append", default=None,
@@ -106,8 +122,21 @@ def main(argv: list[str] | None = None) -> int:
         write_report(report, args.perf_smoke)
         print(f"\nwrote {args.perf_smoke}")
         return 0
+    if args.shards is not None:
+        if args.shards < 2:
+            parser.error("--shards needs at least 2 shard workers")
+        kwargs = {"shards": args.shards, "seed": args.seed,
+                  "pool": args.pool}
+        if args.batch_size is not None:
+            kwargs["batch_size"] = args.batch_size
+        report = shard_smoke(**kwargs)
+        print(render_shard_report(report))
+        write_report(report, args.shard_report)
+        print(f"\nwrote {args.shard_report}")
+        return 0
     if args.experiment is None:
-        parser.error("an experiment is required unless --perf-smoke is set")
+        parser.error("an experiment is required unless --perf-smoke or "
+                     "--shards is set")
     spec = _EXPERIMENTS[args.experiment](scale=args.scale, seed=args.seed)
     names = args.only or list(ALTERNATIVE_NAMES)
 

@@ -94,13 +94,21 @@ def _decode_ledger(state: dict) -> SubsampleLedger:
 
 
 def save_geometric_file(gf: GeometricFile | MultipleGeometricFiles,
-                        sink: IO[str]) -> None:
+                        sink: IO[str], *, meta: dict | None = None) -> None:
     """Serialise the structure's complete logical state as JSON.
 
     Args:
         gf: a (possibly biased) geometric file or a multi-file
             structure.
         sink: a text file-like object to write to.
+        meta: optional caller metadata stored alongside the state and
+            returned by :func:`load_geometric_file` as
+            ``gf.checkpoint_meta``.  The sharded service uses this to
+            stamp each checkpoint with the batch sequence number it
+            covers, so recovery replays exactly the batches the
+            checkpoint has not seen -- storing the two in one file (one
+            atomic rename) is what makes the no-loss/no-double-count
+            guarantee crash-safe.
     """
     buffer_records = None
     buffer_weights = None
@@ -122,8 +130,10 @@ def save_geometric_file(gf: GeometricFile | MultipleGeometricFiles,
         "buffer_records": buffer_records,
         "buffer_weights": buffer_weights,
         "rng_state": _encode_py_rng(gf._rng.getstate()),
-        "np_rng_state": gf._np_rng.bit_generator.state,
+        "np_rng_state": _encode_np_rng(gf._np_rng),
     }
+    if meta is not None:
+        state["meta"] = meta
     if isinstance(gf, MultipleGeometricFiles):
         state["files"] = [
             {
@@ -159,6 +169,8 @@ def load_geometric_file(source: IO[str], device: BlockDevice,
 
     Returns:
         A file whose subsequent behaviour is identical to the saved one.
+        Any ``meta`` mapping passed to :func:`save_geometric_file` is
+        attached as ``checkpoint_meta`` (``None`` when absent).
     """
     state = json.load(source)
     if state.get("version") != FORMAT_VERSION:
@@ -214,7 +226,8 @@ def load_geometric_file(source: IO[str], device: BlockDevice,
     else:
         gf.buffer.append_count(state["buffer_count"])
     gf._rng.setstate(_decode_py_rng(state["rng_state"]))
-    gf._np_rng.bit_generator.state = state["np_rng_state"]
+    _restore_np_rng(gf._np_rng, state["np_rng_state"])
+    gf.checkpoint_meta = state.get("meta")
     return gf
 
 
@@ -227,3 +240,44 @@ def _encode_py_rng(state: tuple) -> list:
 def _decode_py_rng(state: list) -> tuple:
     version, internal, gauss_next = state
     return (version, tuple(internal), gauss_next)
+
+
+def _encode_np_rng(np_rng) -> dict:
+    """numpy ``Generator`` state as pure-builtin JSON types.
+
+    ``bit_generator.state`` nests only strings and integers for PCG64
+    (including the 32-bit carry in ``has_uint32``/``uinteger``, so the
+    snapshot is the *complete* generator state), but numpy does not
+    promise builtin ``int`` for the values.  Coercing every scalar
+    explicitly makes the JSON round trip bit-exact by construction --
+    Python ints are arbitrary precision, so the 128-bit PCG64 counters
+    survive untouched.
+    """
+    return _pure_json(np_rng.bit_generator.state)
+
+
+def _pure_json(value):
+    if isinstance(value, dict):
+        return {str(k): _pure_json(v) for k, v in value.items()}
+    if isinstance(value, str):
+        return value
+    if isinstance(value, bool):
+        return value
+    try:
+        return int(value)
+    except (TypeError, ValueError):
+        raise TypeError(
+            f"cannot serialise RNG state member {value!r}"
+        ) from None
+
+
+def _restore_np_rng(np_rng, state: dict) -> None:
+    """Install a saved bit-generator state, failing loudly on mismatch."""
+    expected = type(np_rng.bit_generator).__name__
+    saved = state.get("bit_generator")
+    if saved != expected:
+        raise ValueError(
+            f"checkpoint holds {saved!r} RNG state; the restored "
+            f"structure uses {expected!r}"
+        )
+    np_rng.bit_generator.state = state

@@ -197,13 +197,21 @@ class GeometricFile(StreamReservoir):
     def n_subsamples(self) -> int:
         return len(self.subsamples)
 
-    def sample(self) -> list[Record]:
+    def sample(self, *, rng=None) -> list[Record]:
         """The current reservoir contents (record-retaining mode only).
 
         At flush boundaries this is exactly the disk-resident sample; in
         between, each buffered record's deferred disk eviction is
         applied so the returned list is a valid size-``min(N, seen)``
         sample at any instant.
+
+        Args:
+            rng: optional ``random.Random`` used for the deferred-
+                eviction draw.  Queries that must not perturb the
+                structure's own RNG stream (checkpoint replay continues
+                bit-exactly only if ingestion alone consumes it -- the
+                sharded service's recovery contract) pass a dedicated
+                query RNG here.
         """
         if not self.config.retain_records:
             raise TypeError("file is running in count-only mode")
@@ -213,7 +221,8 @@ class GeometricFile(StreamReservoir):
         pending = list(self.buffer)
         if self.in_startup:
             return combined + pending
-        return self.apply_pending(combined, pending, self._rng)
+        return self.apply_pending(combined, pending,
+                                  rng if rng is not None else self._rng)
 
     def check_invariants(self) -> None:
         """Assert every ledger's conservation law; used heavily by tests."""

@@ -47,7 +47,9 @@ class ManagedSample:
         device_factory: builds the backing block device (called on both
             create and restore; the devices carry no authoritative
             state -- the checkpoint is the source of truth).
-        config: structure sizing (must satisfy the chosen kind).
+        config: structure sizing (must satisfy the chosen kind).  May
+            be ``None`` when the checkpoint file already exists -- the
+            restored structure carries its own config.
         kind: "geometric", "multi", "biased", or "biased-multi".
         weight_fn: required for the biased kinds.
         checkpoint_every: flushes between automatic checkpoints; 0
@@ -59,7 +61,7 @@ class ManagedSample:
         self,
         checkpoint_path: str | os.PathLike[str],
         device_factory: Callable[[], BlockDevice],
-        config: GeometricFileConfig | MultiFileConfig,
+        config: GeometricFileConfig | MultiFileConfig | None,
         *,
         kind: str = "geometric",
         weight_fn: WeightFunction | None = None,
@@ -75,7 +77,7 @@ class ManagedSample:
         if kind.startswith("biased") and weight_fn is None:
             raise ValueError(f"kind {kind!r} requires weight_fn")
         cls, config_cls = _KINDS[kind]
-        if not isinstance(config, config_cls):
+        if config is not None and not isinstance(config, config_cls):
             raise ValueError(
                 f"kind {kind!r} needs a {config_cls.__name__}"
             )
@@ -83,6 +85,7 @@ class ManagedSample:
         self.checkpoint_every = checkpoint_every
         self._weight_fn = weight_fn
         self.restored = os.path.exists(self.path)
+        self.checkpoint_meta: dict | None = None
         if self.restored:
             with open(self.path, "r", encoding="ascii") as source:
                 self.sample = load_geometric_file(
@@ -93,12 +96,44 @@ class ManagedSample:
                     f"checkpoint holds a {type(self.sample).__name__}, "
                     f"not the requested {cls.__name__}"
                 )
+            self.checkpoint_meta = self.sample.checkpoint_meta
+        elif config is None:
+            raise ValueError(
+                f"no checkpoint at {self.path!r} and no config to "
+                "create a fresh structure from"
+            )
         elif weight_fn is not None:
             self.sample = cls(device_factory(), config, weight_fn,
                               seed=seed)
         else:
             self.sample = cls(device_factory(), config, seed=seed)
         self._checkpointed_flushes = self.sample.flushes
+
+    @classmethod
+    def restore(
+        cls,
+        checkpoint_path: str | os.PathLike[str],
+        device_factory: Callable[[], BlockDevice],
+        *,
+        kind: str = "geometric",
+        weight_fn: WeightFunction | None = None,
+        checkpoint_every: int = 100,
+    ) -> "ManagedSample":
+        """Reopen an existing checkpoint; fails if the file is absent.
+
+        Unlike the constructor's restore-or-create behaviour, this is
+        for callers (e.g. shard recovery in :mod:`repro.service`) for
+        whom a missing checkpoint is an error, not a reason to start an
+        empty reservoir.  ``checkpoint_meta`` carries whatever mapping
+        the saving side passed to :meth:`checkpoint`.
+        """
+        path = os.fspath(checkpoint_path)
+        if not os.path.exists(path):
+            raise FileNotFoundError(
+                f"no checkpoint to restore at {path!r}"
+            )
+        return cls(path, device_factory, None, kind=kind,
+                   weight_fn=weight_fn, checkpoint_every=checkpoint_every)
 
     # -- stream interface ---------------------------------------------------
 
@@ -124,20 +159,29 @@ class ManagedSample:
     def flushes_since_checkpoint(self) -> int:
         return self.sample.flushes - self._checkpointed_flushes
 
-    def checkpoint(self) -> None:
-        """Write the current state atomically (write + rename)."""
+    def checkpoint(self, *, meta: dict | None = None) -> None:
+        """Write the current state atomically (write + rename).
+
+        Args:
+            meta: optional caller metadata embedded in the checkpoint
+                file itself (see :func:`repro.core.checkpoint.
+                save_geometric_file`); it rides the same atomic rename
+                as the state, so a reader never sees state from one
+                checkpoint with metadata from another.
+        """
         directory = os.path.dirname(self.path) or "."
         descriptor, temp_path = tempfile.mkstemp(
             dir=directory, prefix=".checkpoint-", suffix=".json"
         )
         try:
             with os.fdopen(descriptor, "w", encoding="ascii") as sink:
-                save_geometric_file(self.sample, sink)
+                save_geometric_file(self.sample, sink, meta=meta)
             os.replace(temp_path, self.path)
         except BaseException:
             if os.path.exists(temp_path):
                 os.unlink(temp_path)
             raise
+        self.checkpoint_meta = meta
         self._checkpointed_flushes = self.sample.flushes
         self.sample._emit("checkpoint", path=self.path,
                           flushes=self.sample.flushes)

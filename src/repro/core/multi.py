@@ -200,7 +200,7 @@ class MultipleGeometricFiles(StreamReservoir):
         for file in self.files:
             yield from file.subsamples
 
-    def sample(self) -> list[Record]:
+    def sample(self, *, rng=None) -> list[Record]:
         """Current reservoir contents; see
         :meth:`~repro.core.geometric_file.GeometricFile.sample`."""
         if not self.config.retain_records:
@@ -211,7 +211,8 @@ class MultipleGeometricFiles(StreamReservoir):
         pending = list(self.buffer)
         if self.in_startup:
             return combined + pending
-        return self.apply_pending(combined, pending, self._rng)
+        return self.apply_pending(combined, pending,
+                                  rng if rng is not None else self._rng)
 
     def check_invariants(self) -> None:
         """Assert every ledger's conservation law and the global size."""

@@ -34,7 +34,7 @@ from .metrics import (
     MetricsRegistry,
     Timer,
 )
-from .stats import ReservoirStats
+from .stats import ReservoirStats, aggregate_stats, stats_from_dict
 from .trace import EVENT_KINDS, TraceEvent, TraceSink
 
 __all__ = [
@@ -48,6 +48,8 @@ __all__ = [
     "Timer",
     "TraceEvent",
     "TraceSink",
+    "aggregate_stats",
     "reset_deprecation_warnings",
+    "stats_from_dict",
     "warn_deprecated",
 ]

@@ -16,9 +16,9 @@ ingestion -- and ``as_dict()`` makes it JSON-ready for the CLI's
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields as dataclass_fields
 from types import MappingProxyType
-from typing import Mapping
+from typing import Mapping, Sequence
 
 from ..storage.disk_model import DiskStats
 
@@ -93,3 +93,71 @@ class ReservoirStats:
         if self.extra:
             entry["extra"] = dict(self.extra)
         return entry
+
+
+def stats_from_dict(entry: Mapping) -> ReservoirStats:
+    """Rebuild a :class:`ReservoirStats` from :meth:`~ReservoirStats.as_dict`.
+
+    The sharded service's workers live in other processes and ship
+    their snapshots as plain dicts (a frozen ``MappingProxyType`` does
+    not pickle); this is the receiving side.  Derived fields
+    (``records_per_second``) are ignored -- they are recomputed from
+    the counters.
+    """
+    io = entry.get("io")
+    if io is not None:
+        valid = {f.name for f in dataclass_fields(DiskStats)}
+        io = DiskStats(**{k: v for k, v in io.items() if k in valid})
+    return ReservoirStats(
+        name=entry["name"],
+        capacity=entry["capacity"],
+        seen=entry["seen"],
+        samples_added=entry["samples_added"],
+        flushes=entry["flushes"],
+        clock=entry["clock"],
+        io=io,
+        extra=entry.get("extra", {}),
+    )
+
+
+def aggregate_stats(snapshots: Sequence[ReservoirStats], *,
+                    name: str = "service",
+                    extra: Mapping | None = None) -> ReservoirStats:
+    """Fan ``S`` per-shard snapshots into one service-level snapshot.
+
+    Counter semantics follow the physical deployment: ``seen`` /
+    ``samples_added`` / ``flushes`` / ``capacity`` and every I/O
+    counter are *sums* over shards, while ``clock`` is the *maximum*
+    shard clock -- the shards run concurrently on independent devices,
+    so the service finishes when the slowest spindle does.  The
+    aggregate's ``records_per_second`` therefore reports parallel
+    throughput, which is the number the ``--shards`` benchmark gates
+    on.
+
+    ``extra`` (plus a ``shards`` count and per-shard ``seen`` list) is
+    attached to the aggregate's ``extra`` mapping.
+    """
+    if not snapshots:
+        raise ValueError("cannot aggregate zero snapshots")
+    io = None
+    if all(s.io is not None for s in snapshots):
+        totals = {}
+        for f in dataclass_fields(DiskStats):
+            totals[f.name] = sum(getattr(s.io, f.name) for s in snapshots)
+        io = DiskStats(**totals)
+    merged_extra = {
+        "shards": len(snapshots),
+        "seen_per_shard": [s.seen for s in snapshots],
+    }
+    if extra:
+        merged_extra.update(extra)
+    return ReservoirStats(
+        name=name,
+        capacity=sum(s.capacity for s in snapshots),
+        seen=sum(s.seen for s in snapshots),
+        samples_added=sum(s.samples_added for s in snapshots),
+        flushes=sum(s.flushes for s in snapshots),
+        clock=max(s.clock for s in snapshots),
+        io=io,
+        extra=merged_extra,
+    )

@@ -29,6 +29,12 @@ EVENT_KINDS = (
     "checkpoint",
     "overflow",
     "zone_query",
+    # Sharded-service events (repro.service): a worker respawned from
+    # its checkpoint, a merged cross-shard query answered, and a
+    # bounded shard queue pushing back on the producer.
+    "shard_recovery",
+    "merged_query",
+    "backpressure",
 )
 
 

@@ -1,0 +1,84 @@
+"""Merging per-shard samples into one uniform sample of the union.
+
+The correctness rule (proof sketch in docs/SERVICE.md): a uniform
+``k``-subset of a partitioned population is drawn by first allocating
+per-partition counts ``(k_1, ..., k_S)`` from the multivariate
+hypergeometric weighted by partition sizes -- here each shard's
+``seen`` count, i.e. how much of the stream it has absorbed -- and
+then drawing a uniform ``k_i``-subset within each partition.  Shard
+``i``'s reservoir is itself a uniform sample of its ``seen_i`` stream
+records (the paper's Algorithm 1 invariant), and a uniform subset of a
+uniform sample is a uniform subset of the underlying stream, so the
+concatenation is a uniform ``k``-subset of the *union* stream.
+
+The allocation reuses :func:`repro.reservoir.draw_victim_counts` --
+Algorithm 3's randomized-partitioning draw is exactly the multivariate
+hypergeometric this merge needs, including its paper-scale (> 1e9
+records) decomposition.
+
+Workers return their records uniformly *ordered*, so taking the first
+``k_i`` of a shard's reply is itself a uniform ``k_i``-subset; the
+merge therefore needs one round trip even though the allocation is
+drawn supervisor-side after the replies arrive.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..reservoir import draw_victim_counts
+from ..storage.records import Record
+
+
+def allocate_counts(rng: np.random.Generator, seen: Sequence[int],
+                    k: int) -> list[int]:
+    """Multivariate-hypergeometric shard allocation of a ``k``-draw.
+
+    Args:
+        rng: the supervisor's merge RNG.
+        seen: per-shard stream positions (partition sizes).
+        k: merged sample size; must not exceed ``sum(seen)``.
+    """
+    total = sum(seen)
+    if k > total:
+        raise ValueError(
+            f"cannot draw {k} records from a union stream of {total}")
+    return draw_victim_counts(rng, list(seen), k)
+
+
+def merge_shard_samples(rng: np.random.Generator,
+                        payloads: Sequence[dict], k: int) -> list[Record]:
+    """Merge per-shard ``sample`` replies into a uniform ``k``-sample.
+
+    Args:
+        rng: the supervisor's merge RNG (allocation and final shuffle).
+        payloads: one worker ``sample`` payload per shard, each with
+            ``seen``, ``size``, and uniformly-ordered ``records``.
+        k: requested merged sample size.
+
+    Raises:
+        ValueError: when the allocation lands a shard a count larger
+            than the records it returned.  Two distinct causes, both
+            actionable: the shard returned fewer than ``min(k, size)``
+            records (caller bug), or ``k`` exceeds a shard's reservoir
+            size while its ``seen`` keeps drawing allocation toward it
+            (ask for ``k`` at most the smallest shard reservoir).
+    """
+    seen = [p["seen"] for p in payloads]
+    counts = allocate_counts(rng, seen, k)
+    merged: list[Record] = []
+    for payload, count in zip(payloads, counts):
+        if count > len(payload["records"]):
+            raise ValueError(
+                f"allocation wants {count} records from a shard that "
+                f"returned {len(payload['records'])} (reservoir size "
+                f"{payload['size']}); request k no larger than the "
+                f"smallest shard reservoir"
+            )
+        merged.extend(payload["records"][:count])
+    # A uniform subset is exchangeable; the shuffle only removes the
+    # by-shard grouping from the returned order.
+    order = rng.permutation(len(merged))
+    return [merged[i] for i in order]

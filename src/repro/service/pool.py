@@ -1,0 +1,264 @@
+"""Worker pools: real processes and an in-process stand-in.
+
+:class:`ProcessPool` is the production harness -- one daemon process
+per shard, a *bounded* inbox queue (the bound IS the backpressure: a
+producer outrunning a shard blocks in ``send`` until the shard drains),
+and an outbox for replies.  :class:`InlinePool` runs the identical
+:class:`~repro.service.worker.ShardWorker` state machine synchronously
+in the calling process: deterministic, dependency-free, and fast --
+the variant tier-1 tests exercise, with crashes simulated by dropping
+the worker object (its checkpoint file on disk is all that survives,
+exactly as for a killed process).
+
+Both pools expose the same surface: ``send`` / ``recv`` / ``drain`` /
+``alive`` / ``kill`` / ``respawn`` / ``close``.  Death is reported as
+:class:`ShardDead`, which the supervisor treats as the recovery
+trigger; the pools themselves never touch checkpoints or journals.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import time
+from collections import deque
+
+from .spec import ShardSpec
+from .worker import ShardWorker, SimulatedCrash, worker_main
+
+#: Granularity of the liveness checks inside blocking queue operations.
+_POLL_SECONDS = 0.05
+
+
+class ShardDead(RuntimeError):
+    """A shard's worker is gone; carries the shard id for recovery."""
+
+    def __init__(self, shard_id: int, why: str = "worker died") -> None:
+        super().__init__(f"shard {shard_id}: {why}")
+        self.shard_id = shard_id
+
+
+class InlinePool:
+    """Synchronous single-process pool (the fake used by tier-1 tests).
+
+    ``send`` runs the worker's handler immediately; replies queue in a
+    per-shard deque that ``recv``/``drain`` pop.  A ``crash`` command
+    (or :meth:`kill`) discards the in-memory worker -- the only state
+    that survives to :meth:`respawn` is the checkpoint file, so the
+    recovery path under test is the real one.
+    """
+
+    is_process_backed = False
+
+    def __init__(self, specs: list[ShardSpec]) -> None:
+        self.specs = list(specs)
+        self._workers: dict[int, ShardWorker | None] = {}
+        self._outboxes: dict[int, deque] = {
+            spec.shard_id: deque() for spec in self.specs
+        }
+        for spec in self.specs:
+            self._start(spec)
+
+    def _start(self, spec: ShardSpec) -> None:
+        worker = ShardWorker(spec)
+        self._workers[spec.shard_id] = worker
+        self._outboxes[spec.shard_id].append(
+            ("ready", spec.shard_id, worker.seq))
+
+    def alive(self, shard_id: int) -> bool:
+        return self._workers.get(shard_id) is not None
+
+    def queue_depth(self, shard_id: int) -> int:
+        """Pending commands (always 0: inline execution is immediate)."""
+        return 0
+
+    def send(self, shard_id: int, message: tuple) -> int:
+        """Deliver one command; returns backpressure stalls (always 0)."""
+        worker = self._workers.get(shard_id)
+        if worker is None:
+            raise ShardDead(shard_id)
+        try:
+            replies = worker.handle(message)
+        except SimulatedCrash:
+            self._workers[shard_id] = None
+            raise ShardDead(shard_id, "crashed on command") from None
+        self._outboxes[shard_id].extend(replies)
+        if message[0] == "stop":
+            self._workers[shard_id] = None
+        return 0
+
+    def recv(self, shard_id: int, timeout: float | None = None) -> tuple:
+        outbox = self._outboxes[shard_id]
+        if outbox:
+            return outbox.popleft()
+        if not self.alive(shard_id):
+            raise ShardDead(shard_id, "no reply and worker gone")
+        raise queue_module.Empty(
+            f"shard {shard_id} has no pending replies")
+
+    def drain(self, shard_id: int) -> list[tuple]:
+        """Pop every buffered reply (late acks before a respawn)."""
+        outbox = self._outboxes[shard_id]
+        drained = list(outbox)
+        outbox.clear()
+        return drained
+
+    def kill(self, shard_id: int) -> None:
+        """Hard-kill: drop the worker, keep only its on-disk checkpoint."""
+        self._workers[shard_id] = None
+
+    def respawn(self, shard_id: int) -> None:
+        spec = next(s for s in self.specs if s.shard_id == shard_id)
+        self._outboxes[shard_id].clear()
+        self._start(spec)
+
+    def close(self) -> None:
+        self._workers = {spec.shard_id: None for spec in self.specs}
+
+
+class ProcessPool:
+    """One daemon process per shard with bounded inboxes.
+
+    Args:
+        specs: one :class:`ShardSpec` per shard.
+        queue_depth: inbox bound in *messages* (a batch is one
+            message); a full inbox blocks ``send`` -- that blocking is
+            the service's backpressure, propagated to the caller.
+        start_method: multiprocessing start method; ``None`` uses the
+            platform default (``fork`` on Linux, which inherits the
+            parent's imports instead of re-importing them).
+    """
+
+    is_process_backed = True
+
+    def __init__(self, specs: list[ShardSpec], *, queue_depth: int = 8,
+                 start_method: str | None = None) -> None:
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be at least 1")
+        self.specs = list(specs)
+        self.queue_bound = queue_depth
+        self._ctx = (multiprocessing.get_context(start_method)
+                     if start_method else multiprocessing.get_context())
+        self._inboxes: dict[int, object] = {}
+        self._outboxes: dict[int, object] = {}
+        self._processes: dict[int, object] = {}
+        for spec in self.specs:
+            self._start(spec)
+
+    def _start(self, spec: ShardSpec) -> None:
+        inbox = self._ctx.Queue(maxsize=self.queue_bound)
+        outbox = self._ctx.Queue()
+        process = self._ctx.Process(
+            target=worker_main, args=(spec, inbox, outbox),
+            name=f"repro-shard-{spec.shard_id}", daemon=True,
+        )
+        process.start()
+        self._inboxes[spec.shard_id] = inbox
+        self._outboxes[spec.shard_id] = outbox
+        self._processes[spec.shard_id] = process
+
+    def alive(self, shard_id: int) -> bool:
+        process = self._processes.get(shard_id)
+        return process is not None and process.is_alive()
+
+    def queue_depth(self, shard_id: int) -> int:
+        """Approximate pending commands in the shard's inbox."""
+        try:
+            return self._inboxes[shard_id].qsize()
+        except NotImplementedError:  # pragma: no cover - macOS qsize
+            return -1
+
+    def send(self, shard_id: int, message: tuple) -> int:
+        """Deliver one command, blocking under backpressure.
+
+        Returns the number of full-queue stalls endured -- the
+        supervisor surfaces the total as a backpressure metric.  Raises
+        :class:`ShardDead` if the worker dies while we wait.
+        """
+        inbox = self._inboxes[shard_id]
+        stalls = 0
+        while True:
+            try:
+                inbox.put(message, timeout=_POLL_SECONDS)
+                return stalls
+            except queue_module.Full:
+                stalls += 1
+                if not self.alive(shard_id):
+                    raise ShardDead(
+                        shard_id, "died with a full inbox") from None
+
+    def recv(self, shard_id: int, timeout: float | None = None) -> tuple:
+        """Next reply from the shard.
+
+        Raises :class:`ShardDead` when the worker is gone and its
+        outbox is exhausted, or ``TimeoutError`` when the worker is
+        alive but silent past ``timeout`` seconds.
+        """
+        outbox = self._outboxes[shard_id]
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            try:
+                return outbox.get(timeout=_POLL_SECONDS)
+            except queue_module.Empty:
+                if not self.alive(shard_id):
+                    # The pipe may still hold replies written before
+                    # death; one final non-blocking sweep.
+                    try:
+                        return outbox.get_nowait()
+                    except queue_module.Empty:
+                        raise ShardDead(
+                            shard_id, "no reply and worker gone"
+                        ) from None
+                if deadline is not None and time.monotonic() > deadline:
+                    raise TimeoutError(
+                        f"shard {shard_id} sent no reply within "
+                        f"{timeout} seconds") from None
+
+    def drain(self, shard_id: int) -> list[tuple]:
+        """Harvest every buffered reply (e.g. late checkpoint acks
+        written just before a crash)."""
+        outbox = self._outboxes[shard_id]
+        drained = []
+        while True:
+            try:
+                drained.append(outbox.get_nowait())
+            except queue_module.Empty:
+                return drained
+
+    def kill(self, shard_id: int) -> None:
+        """SIGKILL the worker (chaos hook; no checkpoint, no goodbye)."""
+        process = self._processes[shard_id]
+        process.kill()
+        process.join(timeout=10)
+
+    def respawn(self, shard_id: int) -> None:
+        """Replace a dead worker with a fresh process and fresh queues.
+
+        Commands stranded in the old inbox are discarded deliberately:
+        the supervisor's journal is the durable copy and will replay
+        them with their original sequence numbers.
+        """
+        old = self._processes.get(shard_id)
+        if old is not None:
+            if old.is_alive():
+                old.terminate()
+            old.join(timeout=10)
+        for registry in (self._inboxes, self._outboxes):
+            stale = registry.pop(shard_id, None)
+            if stale is not None:
+                stale.close()
+                stale.cancel_join_thread()
+        spec = next(s for s in self.specs if s.shard_id == shard_id)
+        self._start(spec)
+
+    def close(self) -> None:
+        for shard_id, process in self._processes.items():
+            if process.is_alive():
+                process.terminate()
+            process.join(timeout=10)
+        for registry in (self._inboxes, self._outboxes):
+            for q in registry.values():
+                q.close()
+                q.cancel_join_thread()
+            registry.clear()
+        self._processes.clear()

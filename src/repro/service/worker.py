@@ -1,0 +1,179 @@
+"""The per-shard worker: one :class:`~repro.core.managed.ManagedSample`
+driven by a sequenced message protocol.
+
+The same :class:`ShardWorker` runs in two harnesses: a child process
+(:func:`worker_main`, the production path) and in-process inside
+:class:`~repro.service.pool.InlinePool` (the deterministic tier-1 test
+path).  All shard logic lives here so the two variants cannot drift.
+
+Protocol (plain tuples -- picklable, versionless):
+
+Commands, in order, on the shard's inbox:
+
+* ``("batch", seq, records)`` -- apply one partitioned sub-batch via
+  the ``offer_many`` hot path.
+* ``("ingest", seq, count)`` -- count-only sub-batch (benchmarks).
+* ``("sample", token, k)`` -- reply with up to ``k`` reservoir records,
+  uniformly chosen *and uniformly ordered* (so any prefix is itself a
+  uniform subset -- the merge layer relies on this).
+* ``("stats", token)`` -- reply with the structure's ``stats()`` as a
+  dict plus the applied sequence number.
+* ``("checkpoint",)`` -- checkpoint now, regardless of cadence.
+* ``("crash",)`` -- test/chaos hook: die instantly, no checkpoint.
+* ``("stop",)`` -- final checkpoint, acknowledge, exit.
+
+Replies on the outbox: ``("ready", shard_id, seq)`` once at start
+(``seq`` is the sequence the restored checkpoint covers, 0 for fresh),
+``("checkpointed", shard_id, seq)`` after every checkpoint,
+``("sample", shard_id, token, payload)``, ``("stats", shard_id, token,
+payload)``, ``("stopped", shard_id, seq)``, and ``("error", shard_id,
+text)`` before an abnormal exit.
+
+Two RNG streams per worker, deliberately separated: the reservoir's own
+RNGs are consumed by ingestion *only*, so replaying journaled batches
+after a crash continues the checkpointed RNG state bit-exactly;
+queries draw from a dedicated query RNG that recovery never needs to
+reproduce.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import numpy as np
+
+from .spec import ShardSpec
+
+#: Sequence number meaning "nothing applied yet".
+SEQ_NONE = 0
+
+#: Key under which the covered batch sequence is stored in checkpoint
+#: metadata (rides the checkpoint's atomic rename; see
+#: :meth:`repro.core.managed.ManagedSample.checkpoint`).
+SEQ_META_KEY = "seq"
+
+
+class SimulatedCrash(Exception):
+    """Raised by the ``crash`` command; harnesses turn it into death."""
+
+
+class ShardWorker:
+    """One shard's state machine; see the module docstring for protocol."""
+
+    def __init__(self, spec: ShardSpec) -> None:
+        self.spec = spec
+        self.managed = spec.build()
+        self.seq = SEQ_NONE
+        if self.managed.restored:
+            meta = self.managed.checkpoint_meta or {}
+            self.seq = int(meta.get(SEQ_META_KEY, SEQ_NONE))
+        self._batches_since_checkpoint = 0
+        # Query-only RNGs; never touched by ingestion or recovery.
+        seed_seq = np.random.SeedSequence(
+            [spec.seed & 0xFFFFFFFF, spec.shard_id, 0x51])
+        self._query_rng = np.random.default_rng(seed_seq)
+        self._query_py_rng = random.Random(
+            ((spec.seed & 0xFFFFFFFF) << 24) ^ (spec.shard_id << 8) ^ 0x51)
+
+    # -- message handling ---------------------------------------------------
+
+    def handle(self, message: tuple) -> list[tuple]:
+        """Apply one command; returns the replies to send."""
+        kind = message[0]
+        if kind == "batch":
+            _, seq, records = message
+            self.managed.offer_many(records)
+            return self._applied(seq)
+        if kind == "ingest":
+            _, seq, count = message
+            self.managed.ingest(count)
+            return self._applied(seq)
+        if kind == "sample":
+            _, token, k = message
+            return [("sample", self.spec.shard_id, token,
+                     self._draw_sample(k))]
+        if kind == "stats":
+            _, token = message
+            payload = {"stats": self.managed.stats().as_dict(),
+                       "seq": self.seq,
+                       "disk_size": self.managed.sample.disk_size}
+            return [("stats", self.spec.shard_id, token, payload)]
+        if kind == "checkpoint":
+            return self._checkpoint()
+        if kind == "crash":
+            raise SimulatedCrash(f"shard {self.spec.shard_id} told to crash")
+        if kind == "stop":
+            replies = self._checkpoint()
+            replies.append(("stopped", self.spec.shard_id, self.seq))
+            return replies
+        raise ValueError(f"unknown shard command {kind!r}")
+
+    # -- internals ----------------------------------------------------------
+
+    def _applied(self, seq: int) -> list[tuple]:
+        if seq <= self.seq:
+            raise AssertionError(
+                f"shard {self.spec.shard_id} saw sequence {seq} after "
+                f"{self.seq}; the supervisor must never replay an "
+                f"already-applied batch"
+            )
+        self.seq = seq
+        self._batches_since_checkpoint += 1
+        if self._batches_since_checkpoint >= self.spec.checkpoint_batches:
+            return self._checkpoint()
+        return []
+
+    def _checkpoint(self) -> list[tuple]:
+        self.managed.checkpoint(meta={SEQ_META_KEY: self.seq})
+        self._batches_since_checkpoint = 0
+        return [("checkpointed", self.spec.shard_id, self.seq)]
+
+    def _draw_sample(self, k: int) -> dict:
+        """Up to ``k`` reservoir records, uniform and uniformly ordered.
+
+        The deferred-eviction materialisation inside ``sample()`` and
+        the subset draw both use the worker's query RNGs, so the
+        reservoir's own (checkpointed, replay-critical) RNG streams
+        stay untouched by reads.
+        """
+        if k < 0:
+            raise ValueError("sample size must be non-negative")
+        records = self.managed.sample.sample(rng=self._query_py_rng)
+        size = len(records)
+        stats = self.managed.stats()
+        take = min(k, size)
+        order = self._query_rng.permutation(size)[:take]
+        return {
+            "seen": stats.seen,
+            "size": size,
+            "seq": self.seq,
+            "records": [records[i] for i in order],
+        }
+
+
+def worker_main(spec: ShardSpec, inbox, outbox) -> None:
+    """Process entry point: build the shard, then serve the inbox.
+
+    ``crash`` exits via ``os._exit`` -- no cleanup, no final
+    checkpoint -- which is the closest a cooperative process gets to a
+    SIGKILL; the supervisor's recovery path cannot tell the difference.
+    """
+    try:
+        worker = ShardWorker(spec)
+        outbox.put(("ready", spec.shard_id, worker.seq))
+        while True:
+            message = inbox.get()
+            try:
+                replies = worker.handle(message)
+            except SimulatedCrash:
+                os._exit(2)
+            for reply in replies:
+                outbox.put(reply)
+            if message[0] == "stop":
+                break
+    except Exception as exc:  # pragma: no cover - defensive reporting
+        try:
+            outbox.put(("error", spec.shard_id, repr(exc)))
+        finally:
+            os._exit(1)

@@ -8,6 +8,7 @@ DESIGN.md section 2 for the substitution rationale).
 from .buffer_pool import BufferPoolStats, LRUBufferPool
 from .device import (
     BlockDevice,
+    DeviceSpec,
     FileBlockDevice,
     MemoryBlockDevice,
     SimulatedBlockDevice,
@@ -24,6 +25,7 @@ from .records import (
 __all__ = [
     "BlockDevice",
     "BufferPoolStats",
+    "DeviceSpec",
     "DiskModel",
     "DiskParameters",
     "DiskStats",

@@ -23,6 +23,7 @@ first and last block in each over-written segment must be read").
 from __future__ import annotations
 
 import os
+from dataclasses import dataclass
 from typing import Protocol, runtime_checkable
 
 from .disk_model import DiskModel, DiskParameters, DiskStats, _MirroredCounters
@@ -96,6 +97,62 @@ def _check_range(device: "BlockDevice", block: int, n_blocks: int) -> None:
             f"access [{block}, {block + n_blocks}) beyond device "
             f"of {device.n_blocks} blocks"
         )
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """A picklable description of a block device, built on demand.
+
+    Multi-process deployments (:mod:`repro.service`) cannot ship live
+    devices or factory closures across a ``fork``/``spawn`` boundary --
+    neither pickles.  A spec is plain data; each shard worker calls
+    :meth:`build` *inside its own process*, rooted at its private shard
+    directory, so every shard gets an independent device (its own
+    simulated spindle, or its own backing file under ``directory``).
+
+    Attributes:
+        kind: ``"simulated"`` (cost-modelled, the benchmark backend),
+            ``"memory"`` (byte-backed, no cost model), or ``"file"``
+            (a real file named ``device.bin`` under ``directory``).
+        n_blocks: device capacity in blocks.
+        block_size: bytes per block (``"simulated"`` takes it from
+            ``params`` instead).
+        params: disk parameters for the simulated kind; ``None`` uses
+            the paper's measured disk.
+        retain_data: for the simulated kind, keep payload bytes in
+            memory so reads return what was written.
+    """
+
+    kind: str
+    n_blocks: int
+    block_size: int = 4096
+    params: DiskParameters | None = None
+    retain_data: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("simulated", "memory", "file"):
+            raise ValueError(f"unknown device kind {self.kind!r}")
+        if self.n_blocks < 1:
+            raise ValueError("device must have at least one block")
+
+    def build(self, directory: str | os.PathLike[str] | None = None
+              ) -> "BlockDevice":
+        """Construct the described device.
+
+        Args:
+            directory: required for the ``"file"`` kind -- created if
+                missing, and the backing file lives inside it.
+        """
+        if self.kind == "simulated":
+            return SimulatedBlockDevice(self.n_blocks, self.params,
+                                        retain_data=self.retain_data)
+        if self.kind == "memory":
+            return MemoryBlockDevice(self.n_blocks, self.block_size)
+        if directory is None:
+            raise ValueError("a file device needs a directory")
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(os.fspath(directory), "device.bin")
+        return FileBlockDevice(path, self.n_blocks, self.block_size)
 
 
 class MemoryBlockDevice:

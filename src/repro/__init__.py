@@ -52,7 +52,7 @@ from .core import (
     load_geometric_file,
     save_geometric_file,
 )
-from .estimate import SampleQuery, required_sample_size
+from .estimate import BatchQuery, SampleQuery, required_sample_size
 from .obs import MetricsRegistry, ReservoirStats, TraceEvent, TraceSink
 from .reservoir import StreamReservoir
 from .sampling import BiasedReservoir, ReservoirSample, SkipReservoir
@@ -64,6 +64,7 @@ from .storage import (
     FileBlockDevice,
     MemoryBlockDevice,
     Record,
+    RecordBatch,
     SimulatedBlockDevice,
 )
 from .streams import SensorStream, UniformStream, ZipfStream
@@ -71,6 +72,7 @@ from .streams import SensorStream, UniformStream, ZipfStream
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchQuery",
     "BiasedGeometricFile",
     "BiasedMultipleGeometricFiles",
     "BiasedReservoir",
@@ -87,6 +89,7 @@ __all__ = [
     "MultiFileConfig",
     "MultipleGeometricFiles",
     "Record",
+    "RecordBatch",
     "ReservoirSample",
     "ReservoirStats",
     "SampleQuery",

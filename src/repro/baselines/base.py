@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from ..core.buffer import SampleBuffer
 from ..reservoir import AdmissionMode, StreamReservoir
 from ..storage.device import BlockDevice, SimulatedBlockDevice, write_zeros
+from ..storage.recordbatch import RecordBatch
 from ..storage.records import Record, RecordSchema
 
 
@@ -38,6 +39,12 @@ class DiskReservoirConfig:
             100 MB read/write cache).
         retain_records: keep record payloads (tests / small runs).
         admission: see :class:`~repro.reservoir.StreamReservoir`.
+        columnar: run the columnar record engine -- the new-sample
+            buffer becomes a structured-array slab and retained state is
+            held as :class:`~repro.storage.recordbatch.RecordBatch`
+            slabs instead of record-object lists.  Implies
+            ``retain_records``.  I/O charges are identical to the
+            scalar path.
     """
 
     capacity: int
@@ -46,8 +53,11 @@ class DiskReservoirConfig:
     pool_blocks: int = 64
     retain_records: bool = False
     admission: AdmissionMode = "always"
+    columnar: bool = False
 
     def __post_init__(self) -> None:
+        if self.columnar and not self.retain_records:
+            object.__setattr__(self, "retain_records", True)
         if self.capacity < 1:
             raise ValueError("capacity must be positive")
         if self.buffer_capacity < 1:
@@ -122,7 +132,9 @@ class BufferedDiskReservoir(StreamReservoir):
         self.schema = RecordSchema(config.record_size)
         self.buffer = SampleBuffer(config.buffer_capacity, self._rng,
                                    retain_records=config.retain_records,
-                                   np_rng=self._np_rng)
+                                   np_rng=self._np_rng,
+                                   schema=(self.schema if config.columnar
+                                           else None))
         self._fill_appender = SequentialAppender(device, self.schema)
         self._filled = 0
         self._fill_records: list[Record] | None = (
@@ -133,10 +145,11 @@ class BufferedDiskReservoir(StreamReservoir):
 
     # -- hooks ---------------------------------------------------------------
 
-    def _finish_fill(self, records: list[Record] | None) -> None:
+    def _finish_fill(
+            self, records: list[Record] | RecordBatch | None) -> None:
         raise NotImplementedError
 
-    def _steady_flush(self, records: list[Record] | None,
+    def _steady_flush(self, records: list[Record] | RecordBatch | None,
                       count: int) -> None:
         raise NotImplementedError
 
@@ -150,6 +163,11 @@ class BufferedDiskReservoir(StreamReservoir):
     @property
     def in_fill_phase(self) -> bool:
         return self._filled < self.capacity
+
+    @property
+    def columnar(self) -> bool:
+        """True when the columnar record engine is active."""
+        return self.config.columnar
 
     # -- StreamReservoir hooks ---------------------------------------------------
 
@@ -173,6 +191,27 @@ class BufferedDiskReservoir(StreamReservoir):
         n = len(records)
         while i < n:
             i += self.buffer.absorb_many(records, self.capacity, start=i)
+            if self.buffer.is_full:
+                drained, _, count = self.buffer.drain()
+                self._steady_flush(drained, count)
+                self.flushes += 1
+                self._emit("flush", index=self.flushes, records=count,
+                           phase="steady")
+
+    def _admit_batch(self, batch: RecordBatch) -> None:
+        # Columnar twin of _admit_many: the fill-phase prefix is decoded
+        # once (the fill happens exactly once per reservoir), the steady
+        # suffix goes through the buffer's slab absorb.
+        if not self.columnar:
+            super()._admit_batch(batch)
+            return
+        i = 0
+        n = len(batch)
+        if self.in_fill_phase:
+            take = min(n, self.capacity - self._filled)
+            i = self._fill_from_batch(list(batch[:take]))
+        while i < n:
+            i += self.buffer.absorb_batch(batch, self.capacity, start=i)
             if self.buffer.is_full:
                 drained, _, count = self.buffer.drain()
                 self._steady_flush(drained, count)
@@ -231,4 +270,8 @@ class BufferedDiskReservoir(StreamReservoir):
         self._fill_appender.finish()
         records = self._fill_records
         self._fill_records = None
+        if records is not None and self.columnar:
+            # The fill list physicalises as one slab; from here on the
+            # steady state works purely on structured rows.
+            records = RecordBatch.from_records(self.schema, records)
         self._finish_fill(records)

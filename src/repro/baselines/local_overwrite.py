@@ -40,6 +40,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..storage.device import BlockDevice, write_zeros
+from ..storage.recordbatch import RecordBatch
 from ..storage.records import Record
 from ..reservoir import draw_victim_counts
 from .base import BufferedDiskReservoir, DiskReservoirConfig
@@ -51,7 +52,7 @@ class _Cohort:
 
     live: int
     region_block: int
-    records: list[Record] | None = None
+    records: "list[Record] | RecordBatch | None" = None
 
 
 class LocalOverwriteReservoir(BufferedDiskReservoir):
@@ -92,8 +93,16 @@ class LocalOverwriteReservoir(BufferedDiskReservoir):
             "max_cohorts_touched": self.max_cohorts_touched,
         }
 
-    def _finish_fill(self, records: list[Record] | None) -> None:
-        if records is not None:
+    def _finish_fill(
+            self, records: list[Record] | RecordBatch | None) -> None:
+        if isinstance(records, RecordBatch):
+            # Shuffle an index list through the same random.Random the
+            # object path shuffles its list with (identical RNG
+            # consumption), then realise the permutation as one take.
+            order = list(range(len(records)))
+            self._rng.shuffle(order)
+            records = records.take(order)
+        elif records is not None:
             self._rng.shuffle(records)  # the fill is clustered randomly
         self._cohorts = [_Cohort(live=self.capacity, region_block=0,
                                  records=records)]

@@ -18,7 +18,10 @@ needs no record bookkeeping at all).
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..storage.device import BlockDevice, read_discard, write_zeros
+from ..storage.recordbatch import RecordBatch
 from ..storage.records import Record
 from .base import BufferedDiskReservoir, DiskReservoirConfig
 
@@ -31,7 +34,7 @@ class ScanReservoir(BufferedDiskReservoir):
     def __init__(self, device: BlockDevice, config: DiskReservoirConfig,
                  *, seed: int | None = 0) -> None:
         super().__init__(device, config, seed=seed)
-        self._records: list[Record] | None = None
+        self._records: list[Record] | RecordBatch | None = None
         self._file_blocks = self.schema.blocks_for_records(
             config.capacity, device.block_size
         )
@@ -66,9 +69,18 @@ class ScanReservoir(BufferedDiskReservoir):
         """
         self._charge_full_scan()
         if self._records is not None and records is not None:
+            # Same without-replacement draw in both engines, so the
+            # modes stay bit-exact on a shared seed.
             victims = self._rng.sample(range(self.capacity), count)
-            for slot, record in zip(victims, records):
-                self._records[slot] = record
+            if isinstance(records, RecordBatch):
+                # Victims are distinct, so one fancy-index scatter
+                # splices the whole flush without record objects.
+                self._records.array[
+                    np.asarray(victims, dtype=np.intp)
+                ] = records.array
+            else:
+                for slot, record in zip(victims, records):
+                    self._records[slot] = record
 
     def _charge_full_scan(self) -> None:
         read_discard(self.device, 0, self._file_blocks)

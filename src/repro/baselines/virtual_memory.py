@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from ..storage.buffer_pool import LRUBufferPool
 from ..storage.device import BlockDevice
+from ..storage.recordbatch import RecordBatch
 from ..storage.records import Record
 from .base import BufferedDiskReservoir, DiskReservoirConfig
 
@@ -44,7 +45,7 @@ class VirtualMemoryReservoir(BufferedDiskReservoir):
         # Steady state pays per record, not per flush: let the runner
         # shrink chunks to track the horizon precisely.
         self.chunk_floor = 1
-        self._records: list[Record] | None = None
+        self._records: list[Record] | RecordBatch | None = None
         self._n_blocks_used = self.schema.blocks_for_records(
             config.capacity, device.block_size
         )
@@ -119,6 +120,33 @@ class VirtualMemoryReservoir(BufferedDiskReservoir):
                 record = records[i + j]
                 if record is not None:
                     self._records[slot] = record
+
+    def _admit_batch(self, batch: RecordBatch) -> None:
+        # Columnar steady state: one vectorised slot draw (same
+        # np_rng stream as _admit_many), one batched LRU walk, and an
+        # in-order row scatter that matches the scalar loop bit for bit
+        # even when a slot repeats (last write wins).
+        if not self.columnar:
+            super()._admit_batch(batch)
+            return
+        i = 0
+        n = len(batch)
+        if self.in_fill_phase:
+            take = min(n, self.capacity - self._filled)
+            i = self._fill_from_batch(list(batch[:take]))
+        if i >= n:
+            return
+        slots = self._np_rng.integers(0, self.capacity, size=n - i)
+        records_per_block = self.schema.records_per_block(
+            self.device.block_size
+        )
+        self.pool.get_many((slots // records_per_block).tolist(),
+                           dirty=True)
+        if self._records is not None:
+            dst = self._records.array
+            src = batch.array
+            for j, slot in enumerate(slots.tolist()):
+                dst[slot] = src[i + j]
 
     def _overwrite_random_slot(self, record: Record | None) -> None:
         slot = self._rng.randrange(self.capacity)

@@ -15,6 +15,7 @@ from .perf import (
     shard_smoke,
     write_report,
 )
+from .query import query_smoke, render_query_report
 from .report import ascii_chart, io_summary_table, throughput_table, to_csv
 from .runner import RunResult, SeriesPoint, run_until
 
@@ -29,6 +30,8 @@ __all__ = [
     "experiment_3",
     "io_summary_table",
     "perf_smoke",
+    "query_smoke",
+    "render_query_report",
     "render_report",
     "render_shard_report",
     "run_until",

@@ -19,6 +19,7 @@ Examples::
     repro-bench fig7c --only "geo file" --only "multiple geo files"
     repro-bench fig7a --scale 0 --metrics - --trace /tmp/trace.jsonl
     repro-bench --perf-smoke BENCH_ingest.json --batch-size 4096
+    repro-bench --scale 0 --perf-smoke --query-report
     repro-bench --shards 4 --pool process
 """
 
@@ -37,6 +38,8 @@ from .bench import (
     experiment_3,
     io_summary_table,
     perf_smoke,
+    query_smoke,
+    render_query_report,
     render_report,
     render_shard_report,
     run_until,
@@ -62,7 +65,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("experiment", choices=sorted(_EXPERIMENTS),
                         nargs="?", default=None,
                         help="which Figure 7 panel to run (optional with "
-                             "--perf-smoke)")
+                             "--perf-smoke / --query-report)")
     parser.add_argument("--scale", type=int, default=100,
                         help="record-count divisor; 1 = paper scale, "
                              "0 = fixed smoke configuration "
@@ -77,6 +80,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run the batch-ingest throughput benchmark "
                              "instead of a Figure 7 panel and write its "
                              "JSON report (default: BENCH_ingest.json)")
+    parser.add_argument("--query-report", metavar="PATH", nargs="?",
+                        const="BENCH_query.json", default=None,
+                        help="run the columnar query/AQP benchmark "
+                             "(composable with --perf-smoke) and write "
+                             "its JSON report (default: BENCH_query.json)")
     parser.add_argument("--shards", type=int, default=None, metavar="N",
                         help="run the sharded-service ingest benchmark "
                              "with N shard workers instead of a Figure 7 "
@@ -113,6 +121,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.batch_size is not None and args.batch_size < 1:
         parser.error("--batch-size must be at least 1")
+    ran_smoke = False
     if args.perf_smoke is not None:
         kwargs = {"seed": args.seed}
         if args.batch_size is not None:
@@ -121,6 +130,19 @@ def main(argv: list[str] | None = None) -> int:
         print(render_report(report))
         write_report(report, args.perf_smoke)
         print(f"\nwrote {args.perf_smoke}")
+        ran_smoke = True
+    if args.query_report is not None:
+        kwargs = {"seed": args.seed}
+        if args.batch_size is not None:
+            kwargs["batch_size"] = args.batch_size
+        report = query_smoke(**kwargs)
+        if ran_smoke:
+            print()
+        print(render_query_report(report))
+        write_report(report, args.query_report)
+        print(f"\nwrote {args.query_report}")
+        ran_smoke = True
+    if ran_smoke:
         return 0
     if args.shards is not None:
         if args.shards < 2:
@@ -135,8 +157,8 @@ def main(argv: list[str] | None = None) -> int:
         print(f"\nwrote {args.shard_report}")
         return 0
     if args.experiment is None:
-        parser.error("an experiment is required unless --perf-smoke or "
-                     "--shards is set")
+        parser.error("an experiment is required unless --perf-smoke, "
+                     "--query-report, or --shards is set")
     spec = _EXPERIMENTS[args.experiment](scale=args.scale, seed=args.seed)
     names = args.only or list(ALTERNATIVE_NAMES)
 

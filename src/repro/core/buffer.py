@@ -14,6 +14,22 @@ effective weight, and Section 7.3.2's overflow events scale every
 buffered weight -- implemented with an epoch factor instead of an O(B)
 sweep, exactly as in
 :class:`~repro.sampling.biased_reservoir.BiasedReservoir`.
+
+Storage comes in three modes:
+
+* *object* (``retain_records=True``): a Python list of
+  :class:`~repro.storage.records.Record`;
+* *count-only* (``retain_records=False``): no storage at all;
+* *columnar* (``schema=...``): a preallocated structured-array slab of
+  ``capacity`` rows (:attr:`RecordSchema.dtype`).  Joins are row (or
+  slice) writes into the slab, :meth:`drain` hands back one
+  :class:`~repro.storage.recordbatch.RecordBatch`, and the batch entry
+  points (:meth:`extend_batch` / :meth:`absorb_batch`) absorb whole
+  column slices without materialising a single record object.  The
+  admission law is shared with the object mode -- the same decision
+  kernel runs against either storage -- so the two are
+  distributionally identical (tested).  Columnar buffers are
+  uniform-only; weighted sampling stays on the object path.
 """
 
 from __future__ import annotations
@@ -23,7 +39,8 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
-from ..storage.records import Record
+from ..storage.recordbatch import RecordBatch
+from ..storage.records import Record, RecordSchema
 
 _RENORMALIZE_ABOVE = 1e100
 
@@ -41,18 +58,31 @@ class SampleBuffer:
         np_rng: numpy generator for the batched coin flips of
             :meth:`absorb_many`; derived deterministically from ``rng``
             when not supplied.
+        schema: switch to columnar slab storage over this record
+            schema (implies record retention; uniform-only).
     """
 
     def __init__(self, capacity: int, rng: random.Random,
                  *, retain_records: bool = True,
-                 np_rng: np.random.Generator | None = None) -> None:
+                 np_rng: np.random.Generator | None = None,
+                 schema: RecordSchema | None = None) -> None:
         if capacity < 1:
             raise ValueError("buffer capacity must be at least 1")
+        if schema is not None and schema.weighted:
+            raise ValueError("columnar buffers are uniform-only; weighted "
+                             "sampling stays on the object path")
         self.capacity = capacity
         self._rng = rng
         self._np_rng = np_rng
-        self._retain = retain_records
-        self._records: list[Record] | None = [] if retain_records else None
+        self._schema = schema
+        self._slab: np.ndarray | None = (
+            np.zeros(capacity, dtype=schema.dtype)
+            if schema is not None else None
+        )
+        self._retain = retain_records or schema is not None
+        self._records: list[Record] | None = (
+            [] if self._retain and schema is None else None
+        )
         self._weights: list[float] | None = None
         self._count = 0
         self._scale = 1.0
@@ -71,13 +101,30 @@ class SampleBuffer:
     def retains_records(self) -> bool:
         return self._retain
 
+    @property
+    def columnar(self) -> bool:
+        return self._slab is not None
+
     def __len__(self) -> int:
         return self._count
 
     def __iter__(self) -> Iterator[Record]:
+        if self._slab is not None:
+            return iter(RecordBatch(self._schema,
+                                    self._slab[:self._count]))
         if self._records is None:
             raise TypeError("buffer is running in count-only mode")
         return iter(self._records)
+
+    def pending_view(self) -> np.ndarray:
+        """The live slab rows (columnar mode): a view, not a copy.
+
+        The query path concatenates this straight into its combined
+        array; callers must not hold the view across a mutation.
+        """
+        if self._slab is None:
+            raise TypeError("buffer is not columnar")
+        return self._slab[:self._count]
 
     def weights(self) -> list[float]:
         """Current effective weights (scaled), weighted buffers only."""
@@ -96,6 +143,14 @@ class SampleBuffer:
         """
         if self.is_full:
             raise ValueError("buffer full; flush before appending more")
+        if self._slab is not None:
+            if weight is not None:
+                raise TypeError("columnar buffers are uniform-only")
+            if record is None:
+                raise ValueError("record-retaining buffer needs the record")
+            self._slab[self._count] = self._encode_row(record)
+            self._count += 1
+            return
         if weight is not None and self._weights is None:
             if self._count > 0:
                 raise ValueError("cannot switch to weighted mode mid-fill")
@@ -140,6 +195,20 @@ class SampleBuffer:
         """
         if self.is_full:
             raise ValueError("buffer full; flush before admitting more")
+        if self._slab is not None:
+            if weight is not None:
+                raise TypeError("columnar buffers are uniform-only")
+            if record is None:
+                raise ValueError("record-retaining buffer needs the record")
+            # Same two draws, same order, as the object path below.
+            if (self._count > 0
+                    and self._rng.random() * reservoir_size < self._count):
+                self._slab[self._rng.randrange(self._count)] = (
+                    self._encode_row(record))
+                return False
+            self._slab[self._count] = self._encode_row(record)
+            self._count += 1
+            return True
         if weight is not None and self._weights is None:
             if self._count > 0:
                 raise ValueError("cannot switch to weighted mode mid-fill")
@@ -180,10 +249,33 @@ class SampleBuffer:
             raise ValueError("extend would overfill the buffer")
         if self._weights is not None:
             raise TypeError("weighted buffers append per record")
+        if self._slab is not None:
+            encode = self._encode_row
+            slab = self._slab
+            count = self._count
+            for i, record in enumerate(records):
+                if record is None:
+                    raise ValueError(
+                        "record-retaining buffer needs the record")
+                slab[count + i] = encode(record)
+            self._count = count + n
+            return
         if self._records is not None:
             if any(record is None for record in records):
                 raise ValueError("record-retaining buffer needs the record")
             self._records.extend(records)
+        self._count += n
+
+    def extend_batch(self, batch: RecordBatch) -> None:
+        """Columnar :meth:`extend`: one slab slice copy (start-up phase)."""
+        if self._slab is None:
+            raise TypeError("buffer is not columnar; use extend")
+        n = len(batch)
+        if n == 0:
+            return
+        if self._count + n > self.capacity:
+            raise ValueError("extend would overfill the buffer")
+        self._slab[self._count:self._count + n] = batch.array
         self._count += n
 
     def absorb_many(self, records: Sequence[Record | None],
@@ -220,8 +312,57 @@ class SampleBuffer:
                                            chunk, reservoir_size)
         return consumed
 
+    def absorb_batch(self, batch: RecordBatch, reservoir_size: int,
+                     *, start: int = 0) -> int:
+        """Columnar :meth:`absorb_many`: joins land as slab slice copies.
+
+        Runs the identical decision kernel (same RNG stream, same
+        admission law), then applies the joins as one fancy-index copy
+        from the batch's array per chunk instead of per-record
+        appends.  Returns the records consumed, like
+        :meth:`absorb_many`.
+        """
+        if self._slab is None:
+            raise TypeError("buffer is not columnar; use absorb_many")
+        if self.is_full:
+            raise ValueError("buffer full; flush before admitting more")
+        n = len(batch)
+        if not 0 <= start <= n:
+            raise ValueError(f"start {start} outside the batch of {n}")
+        array = batch.array
+        consumed = 0
+        while start + consumed < n and not self.is_full:
+            room = self.capacity - self._count
+            chunk = min(n - start - consumed, max(2 * room, 64))
+            base = start + consumed
+            took, count, replaces = self._absorb_decisions(
+                chunk, reservoir_size)
+            self._apply_absorb_array(array, base, took, replaces)
+            self._count = count
+            consumed += took
+        return consumed
+
     def _absorb_chunk(self, records: Sequence[Record | None], base: int,
                       m: int, reservoir_size: int) -> int:
+        consumed, count, replaces = self._absorb_decisions(m, reservoir_size)
+        if self._slab is not None:
+            self._apply_absorb_rows(records, base, consumed, replaces)
+        elif self._records is not None:
+            self._apply_absorb_list(records, base, consumed, replaces)
+        self._count = count
+        return consumed
+
+    def _absorb_decisions(self, m: int, reservoir_size: int
+                          ) -> tuple[int, int, list[tuple[int, int]]]:
+        """The storage-independent half of a chunk absorb.
+
+        Returns ``(consumed, count_after, replaces)`` where
+        ``replaces`` lists confirmed in-buffer replacements as
+        ``(batch index, buffer count at that moment)``; every other
+        consumed index is a join.  Consumes exactly the RNG stream the
+        original fused kernel did, so object and columnar storage see
+        identical decisions for identical seeds.
+        """
         if self._np_rng is None:
             self._np_rng = np.random.default_rng(self._rng.getrandbits(64))
         w = self._np_rng.random(m) * reservoir_size
@@ -257,23 +398,79 @@ class SampleBuffer:
                 count = cap
             else:
                 count += tail
-        if self._records is not None:
-            if any(records[base + j] is None for j in range(consumed)):
+        return consumed, count, replaces
+
+    def _apply_absorb_list(self, records: Sequence[Record | None],
+                           base: int, consumed: int,
+                           replaces: list[tuple[int, int]]) -> None:
+        if any(records[base + j] is None for j in range(consumed)):
+            raise ValueError("record-retaining buffer needs the record")
+        recs = self._records
+        position = 0
+        for j, _count_at in replaces:
+            recs.extend(records[base + position:base + j])
+            position = j + 1
+        recs.extend(records[base + position:base + consumed])
+        # Replaying the replacements after the joins is equivalent
+        # to interleaving: joins only append, and each replacement
+        # slot draw uses the buffer size of its own moment.
+        randrange = self._rng.randrange
+        for j, count_at in replaces:
+            recs[randrange(count_at)] = records[base + j]
+
+    def _apply_absorb_rows(self, records: Sequence[Record | None],
+                           base: int, consumed: int,
+                           replaces: list[tuple[int, int]]) -> None:
+        """Object-record application against the slab (the shim path)."""
+        slab = self._slab
+        encode = self._encode_row
+        position = 0
+        pos = self._count
+        for j, _count_at in replaces:
+            for i in range(position, j):
+                record = records[base + i]
+                if record is None:
+                    raise ValueError(
+                        "record-retaining buffer needs the record")
+                slab[pos] = encode(record)
+                pos += 1
+            position = j + 1
+        for i in range(position, consumed):
+            record = records[base + i]
+            if record is None:
                 raise ValueError("record-retaining buffer needs the record")
-            recs = self._records
-            position = 0
-            for j, _count_at in replaces:
-                recs.extend(records[base + position:base + j])
-                position = j + 1
-            recs.extend(records[base + position:base + consumed])
-            # Replaying the replacements after the joins is equivalent
-            # to interleaving: joins only append, and each replacement
-            # slot draw uses the buffer size of its own moment.
-            randrange = self._rng.randrange
-            for j, count_at in replaces:
-                recs[randrange(count_at)] = records[base + j]
-        self._count = count
-        return consumed
+            slab[pos] = encode(record)
+            pos += 1
+        randrange = self._rng.randrange
+        for j, count_at in replaces:
+            record = records[base + j]
+            if record is None:
+                raise ValueError("record-retaining buffer needs the record")
+            slab[randrange(count_at)] = encode(record)
+
+    def _apply_absorb_array(self, array: np.ndarray, base: int,
+                            consumed: int,
+                            replaces: list[tuple[int, int]]) -> None:
+        """Columnar application: joins as one fancy-index slice copy."""
+        slab = self._slab
+        if not replaces:
+            slab[self._count:self._count + consumed] = (
+                array[base:base + consumed])
+            return
+        join_mask = np.ones(consumed, dtype=bool)
+        for j, _count_at in replaces:
+            join_mask[j] = False
+        joins = base + np.flatnonzero(join_mask)
+        slab[self._count:self._count + joins.shape[0]] = array[joins]
+        randrange = self._rng.randrange
+        for j, count_at in replaces:
+            slab[randrange(count_at)] = array[base + j]
+
+    def _encode_row(self, record: Record):
+        # One scalar-codec pack per row keeps slab bytes identical to
+        # what the object path would eventually encode.
+        return np.frombuffer(self._schema.encode(record),
+                             dtype=self._schema.dtype)[0]
 
     def scale_weights(self, factor: float) -> None:
         """Section 7.3.2 step (2): scale every buffered effective weight."""
@@ -293,7 +490,25 @@ class SampleBuffer:
         "first randomize the ordering of the sampled records in the
         buffer" (Section 4.3), and the ledger's pop-from-the-end
         eviction rule depends on it.
+
+        Columnar buffers return a freshly-permuted
+        :class:`~repro.storage.recordbatch.RecordBatch` (the slab is
+        reused for the next fill) with ``weights`` always ``None``.
         """
+        if self._slab is not None:
+            count = self._count
+            # Shuffle an index list through the *same* random.Random
+            # the object path shuffles its record list with: both modes
+            # consume identical RNG streams, so flush cadence and every
+            # downstream draw stay bit-exact between them.
+            order = list(range(count))
+            self._rng.shuffle(order)
+            batch = RecordBatch(
+                self._schema,
+                self._slab[:count][np.asarray(order, dtype=np.intp)],
+            )
+            self._count = 0
+            return batch, None, count
         count = self._count
         records = self._records
         weights = None

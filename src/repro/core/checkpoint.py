@@ -71,10 +71,16 @@ def _encode_ledger(ledger: SubsampleLedger) -> dict:
     return state
 
 
-def _decode_ledger(state: dict) -> SubsampleLedger:
+def _decode_ledger(state: dict, schema=None) -> SubsampleLedger:
     records = state["records"]
     if records is not None:
         records = [_decode_record(f) for f in records]
+        if schema is not None:
+            # Columnar restore: the ledger holds a RecordBatch slab, so
+            # the reloaded structure keeps its pure-array query path.
+            from ..storage.recordbatch import RecordBatch
+
+            records = RecordBatch.from_records(schema, records)
     ledger = SubsampleLedger.__new__(SubsampleLedger)
     ledger.ident = state["ident"]
     ledger.first_level = state["first_level"]
@@ -207,16 +213,18 @@ def load_geometric_file(source: IO[str], device: BlockDevice,
     gf.stack_overflows = state["stack_overflows"]
     gf._startup_index = state["startup_index"]
     gf._next_ident = state["next_ident"]
+    ledger_schema = gf.schema if getattr(gf, "columnar", False) else None
     if isinstance(gf, MultipleGeometricFiles):
         for file, file_state in zip(gf.files, state["files"]):
             file.layout._free_slots = [list(s)
                                        for s in file_state["free_slots"]]
             file.dummy_slots = list(file_state["dummy_slots"])
-            file.subsamples = [_decode_ledger(s)
+            file.subsamples = [_decode_ledger(s, ledger_schema)
                                for s in file_state["ledgers"]]
     else:
         gf._layout._free_slots = [list(s) for s in state["free_slots"]]
-        gf.subsamples = [_decode_ledger(s) for s in state["ledgers"]]
+        gf.subsamples = [_decode_ledger(s, ledger_schema)
+                         for s in state["ledgers"]]
     if state["buffer_records"] is not None:
         for index, fields in enumerate(state["buffer_records"]):
             weight = None

@@ -148,6 +148,16 @@ class ManagedSample:
         self._maybe_checkpoint()
         return admitted
 
+    def offer_batch(self, batch) -> int:
+        """Present a :class:`~repro.storage.recordbatch.RecordBatch`.
+
+        Explicit (rather than ``__getattr__``-delegated) so the
+        checkpoint schedule sees columnar ingestion too.
+        """
+        admitted = self.sample.offer_batch(batch)
+        self._maybe_checkpoint()
+        return admitted
+
     def ingest(self, n: int) -> None:
         """Count-only ingestion (unbiased kinds only)."""
         self.sample.ingest(n)

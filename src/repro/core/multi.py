@@ -35,12 +35,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..reservoir import (
     StreamReservoir,
     VictimScratch,
     draw_victim_counts_array,
 )
-from ..storage.device import BlockDevice, SimulatedBlockDevice
+from ..storage.device import (
+    BlockDevice,
+    SimulatedBlockDevice,
+    device_stores_bytes,
+)
+from ..storage.recordbatch import RecordBatch
 from ..storage.records import Record, RecordSchema
 from .buffer import SampleBuffer
 from .geometric_file import FileLayout, GeometricFileConfig
@@ -112,7 +119,11 @@ class MultipleGeometricFiles(StreamReservoir):
         self.files = self._build_files(device)
         self.buffer = SampleBuffer(config.buffer_capacity, self._rng,
                                    retain_records=config.retain_records,
-                                   np_rng=self._np_rng)
+                                   np_rng=self._np_rng,
+                                   schema=(self.schema if config.columnar
+                                           else None))
+        self._store_bytes = (config.columnar
+                             and device_stores_bytes(device))
         self._victim_scratch = VictimScratch()
         self._startup_sizes = startup_fill_sizes(
             config.capacity, config.buffer_capacity, self.alpha
@@ -214,6 +225,34 @@ class MultipleGeometricFiles(StreamReservoir):
         return self.apply_pending(combined, pending,
                                   rng if rng is not None else self._rng)
 
+    def sample_batch(self, k: int | None = None, *, rng=None) -> RecordBatch:
+        """Current reservoir as one :class:`RecordBatch`; see
+        :meth:`~repro.core.geometric_file.GeometricFile.sample_batch`."""
+        if not self.columnar:
+            if not self.config.retain_records:
+                raise TypeError("files are running in count-only mode")
+            return super().sample_batch(k, rng=rng)
+        gen = rng if rng is not None else self._np_rng
+        dtype = self.schema.dtype
+        parts = [ledger.records.array for ledger in self._all_ledgers()
+                 if ledger.records is not None and len(ledger.records)]
+        pending = self.buffer.pending_view()
+        if self.in_startup:
+            if len(pending):
+                parts = parts + [pending]
+            combined = (np.concatenate(parts) if parts
+                        else np.empty(0, dtype=dtype))
+        else:
+            combined = (np.concatenate(parts) if parts
+                        else np.empty(0, dtype=dtype))
+            combined = self.apply_pending_batch(combined, pending, gen)
+        return self._thin_batch(RecordBatch(self.schema, combined), k, rng)
+
+    @property
+    def columnar(self) -> bool:
+        """True when the columnar record engine is active."""
+        return self.config.columnar
+
     def check_invariants(self) -> None:
         """Assert every ledger's conservation law and the global size."""
         for ledger in self._all_ledgers():
@@ -255,6 +294,27 @@ class MultipleGeometricFiles(StreamReservoir):
                 if self.buffer.is_full:
                     self._flush()
 
+    def _admit_batch(self, batch: RecordBatch) -> None:
+        # Columnar twin of _admit_many; see GeometricFile._admit_batch.
+        if not self.columnar:
+            super()._admit_batch(batch)
+            return
+        i = 0
+        n = len(batch)
+        while i < n:
+            if self.in_startup:
+                target = self._startup_sizes[self._startup_index]
+                take = min(n - i, target - self.buffer.count)
+                self.buffer.extend_batch(batch[i:i + take])
+                i += take
+                if self.buffer.count >= target:
+                    self._startup_flush()
+            else:
+                i += self.buffer.absorb_batch(batch, self.capacity,
+                                              start=i)
+                if self.buffer.is_full:
+                    self._flush()
+
     def _admit_count(self, n: int) -> None:
         # Same count-only simplification as the single file: in-buffer
         # replacements are folded into joins (see GeometricFile).
@@ -291,7 +351,11 @@ class MultipleGeometricFiles(StreamReservoir):
             ledger.push_slot(file.layout.take_slot(level + offset))
         # One contiguous write per initial subsample (see
         # FileLayout.append_startup).
-        file.layout.append_startup(self._blocks_for(count - tail))
+        disk_records = count - tail
+        data = None
+        if self._store_bytes and disk_records > 0:
+            data = records[:disk_records].to_bytes()
+        file.layout.append_startup(self._blocks_for(disk_records), data)
         self._startup_index += 1
         self.flushes += 1
         self._emit("flush", index=self.flushes, records=count,
@@ -309,10 +373,15 @@ class MultipleGeometricFiles(StreamReservoir):
         )
         ledger.weights = weights
         file.subsamples.insert(0, ledger)
+        offset = 0
         for level, size in enumerate(self.ladder.segment_sizes):
             slot = file.dummy_slots[level]
             ledger.push_slot(slot)
-            self._write_slot(file, level, slot, size)
+            data = None
+            if self._store_bytes:
+                data = records[offset:offset + size].to_bytes()
+            self._write_slot(file, level, slot, size, data)
+            offset += size
         # Existing subsamples donate their largest segment back to the
         # dummy (Figure 6 c) and settle their stacks, lazily accumulated
         # over the last m flushes.
@@ -394,8 +463,8 @@ class MultipleGeometricFiles(StreamReservoir):
         return -(-n_records // self._records_per_block)
 
     def _write_slot(self, file: _SubFile, level: int, slot: int,
-                    size: int) -> None:
-        file.layout.write_slot(level, slot, self._blocks_for(size))
+                    size: int, data: bytes | None = None) -> None:
+        file.layout.write_slot(level, slot, self._blocks_for(size), data)
         for _ in range(self.config.extra_seeks_per_segment):
             file.layout.charge_seek()
         self._emit("segment_overwrite", file=file.index, level=level,

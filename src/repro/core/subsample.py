@@ -36,9 +36,12 @@ per-flush release loop must stay O(1) per subsample.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 from ..storage.records import Record
+
+if TYPE_CHECKING:
+    from ..storage.recordbatch import RecordBatch
 
 
 @dataclass
@@ -66,9 +69,13 @@ class SubsampleLedger:
         tail_size: records of the in-memory group.
         records: the actual live records, when the caller retains them
             (tests, small runs); ``None`` for count-only operation.
-            When given, the list must already be in uniform random
+            Either a plain list or, under the columnar engine, a
+            :class:`~repro.storage.recordbatch.RecordBatch` -- the
+            ledger only ever measures (``len``), truncates (tail
+            ``del``), and iterates, which both containers support.
+            When given, the container must already be in uniform random
             order -- evictions pop from the end, which is a uniform
-            choice for an exchangeable (pre-shuffled) list.
+            choice for an exchangeable (pre-shuffled) sequence.
         stack_capacity: physical stack region size in records
             (``3 * sqrt(B)`` in the paper); exceeding it sets
             :attr:`overflowed` rather than failing, because the paper's
@@ -82,7 +89,7 @@ class SubsampleLedger:
 
     def __init__(self, ident: int, segment_sizes: Iterable[int],
                  first_level: int, tail_size: int,
-                 records: list[Record] | None = None,
+                 records: "list[Record] | RecordBatch | None" = None,
                  stack_capacity: int | None = None) -> None:
         self.ident = ident
         self._sizes = list(segment_sizes)

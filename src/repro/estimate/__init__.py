@@ -2,7 +2,7 @@
 bounds, and estimators (including Horvitz-Thompson over biased
 samples)."""
 
-from .aqp import GroupResult, SampleQuery, relative_error
+from .aqp import BatchQuery, GroupResult, SampleQuery, relative_error
 from .bounds import (
     chebyshev_bound,
     chebyshev_sample_size,
@@ -31,6 +31,7 @@ from .estimators import (
 )
 
 __all__ = [
+    "BatchQuery",
     "ConfidenceInterval",
     "Estimate",
     "GroupResult",

@@ -20,6 +20,9 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Hashable, Sequence
 
+import numpy as np
+
+from ..storage.recordbatch import RecordBatch
 from ..storage.records import Record
 from .clt import ConfidenceInterval
 from .estimators import Estimate, estimate_mean, estimate_sum
@@ -136,6 +139,81 @@ class SampleQuery:
                 est = estimate_sum(rows, self._population)
             results.append(GroupResult(group_key, len(members), est))
         return results
+
+    def _need_population(self) -> None:
+        if self._population is None:
+            raise ValueError(
+                "population_size is required for SUM/COUNT scale-up"
+            )
+
+
+class BatchQuery:
+    """Columnar :class:`SampleQuery` over a :class:`RecordBatch`.
+
+    Predicates are range filters (or raw boolean masks) on named
+    columns and aggregates reduce value columns directly, so an
+    AVG-with-error-bars over a million-record sample is a handful of
+    ``numpy`` reductions instead of a million Python calls.  The
+    estimators are the same CLT constructions ``SampleQuery`` uses --
+    on the same sample the two agree to floating-point reassociation.
+
+    Args:
+        batch: the sampled records as one :class:`RecordBatch`.
+        population_size: number of records the sample represents;
+            required for SUM/COUNT scale-up, not for AVG.
+    """
+
+    def __init__(self, batch: RecordBatch,
+                 population_size: int | None = None) -> None:
+        if population_size is not None and population_size < len(batch):
+            raise ValueError("population smaller than the sample")
+        self._batch = batch
+        self._population = population_size
+
+    def __len__(self) -> int:
+        return len(self._batch)
+
+    @property
+    def batch(self) -> RecordBatch:
+        return self._batch
+
+    def _column(self, column: str) -> np.ndarray:
+        return self._batch.column(column)
+
+    def mask(self, column: str, low: float = -math.inf,
+             high: float = math.inf) -> np.ndarray:
+        """Boolean mask of rows with ``column`` in ``[low, high]``."""
+        values = self._column(column)
+        return (values >= low) & (values <= high)
+
+    def filter(self, column: str, low: float = -math.inf,
+               high: float = math.inf) -> "BatchQuery":
+        """Relational selection by range predicate (keeps population)."""
+        return self.where(self.mask(column, low, high))
+
+    def where(self, mask: np.ndarray) -> "BatchQuery":
+        """Selection by an arbitrary boolean mask over the rows."""
+        array = self._batch.array[np.asarray(mask, dtype=bool)]
+        return BatchQuery(RecordBatch(self._batch.schema, array),
+                          self._population)
+
+    def avg(self, column: str = "value") -> Estimate:
+        """Mean of ``column`` over the represented population."""
+        return estimate_mean(self._column(column))
+
+    def sum(self, column: str = "value") -> Estimate:
+        """Population SUM (requires ``population_size``)."""
+        self._need_population()
+        return estimate_sum(self._column(column), self._population)
+
+    def count(self, mask: np.ndarray | None = None) -> Estimate:
+        """Population COUNT of rows matching ``mask`` (all when None)."""
+        self._need_population()
+        if mask is None:
+            indicators = np.ones(len(self._batch))
+        else:
+            indicators = np.asarray(mask, dtype=bool).astype(np.float64)
+        return estimate_sum(indicators, self._population)
 
     def _need_population(self) -> None:
         if self._population is None:

@@ -20,6 +20,8 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
+import numpy as np
+
 from ..storage.records import Record
 from .clt import ConfidenceInterval, normal_quantile
 
@@ -37,17 +39,28 @@ class Estimate:
                                   confidence)
 
 
-def estimate_mean(sample: Sequence[float]) -> Estimate:
-    """Sample mean with its standard error."""
+def estimate_mean(sample: Sequence[float] | np.ndarray) -> Estimate:
+    """Sample mean with its standard error.
+
+    Accepts any float sequence; ``numpy`` arrays (e.g. a
+    :class:`~repro.storage.recordbatch.RecordBatch` value column) take
+    a vectorised path with no per-element Python arithmetic.
+    """
     n = len(sample)
     if n < 2:
         raise ValueError("need at least two values")
+    if isinstance(sample, np.ndarray):
+        values = sample.astype(np.float64, copy=False)
+        mean = float(values.mean())
+        variance = float(values.var(ddof=1))
+        return Estimate(mean, math.sqrt(variance / n))
     mean = sum(sample) / n
     variance = sum((x - mean) ** 2 for x in sample) / (n - 1)
     return Estimate(mean, math.sqrt(variance / n))
 
 
-def estimate_sum(sample: Sequence[float], population_size: int) -> Estimate:
+def estimate_sum(sample: Sequence[float] | np.ndarray,
+                 population_size: int) -> Estimate:
     """Population SUM from a uniform sample of known population size.
 
     Scales the sample mean by ``population_size``; the without-

@@ -430,6 +430,87 @@ class StreamReservoir(abc.ABC):
             self._admit_many(admitted)
         return len(admitted)
 
+    def offer_batch(self, batch) -> int:
+        """Present a :class:`~repro.storage.recordbatch.RecordBatch`.
+
+        The columnar twin of :meth:`offer_many`: the admission mask is
+        the same single vectorised draw, but the admitted records stay
+        a column slab end to end -- they reach the structure through
+        :meth:`_admit_batch`, which columnar structures implement with
+        slice copies.  Structures without a columnar path decode once
+        and fall through to :meth:`_admit_many` (identical admission
+        law either way).
+
+        Returns:
+            The number of records admitted into the reservoir.
+        """
+        n = len(batch)
+        if n == 0:
+            return 0
+        first = self._seen + 1
+        last = self._seen + n
+        self._seen = last
+        if self.admission == "always" or last <= self.capacity:
+            admitted = batch
+        else:
+            positions = np.arange(first, last + 1, dtype=np.float64)
+            mask = (self._np_rng.random(n) * positions) < self.capacity
+            if first <= self.capacity:
+                mask[:self.capacity - first + 1] = True
+            admitted = batch.take(np.flatnonzero(mask))
+        count = len(admitted)
+        if count:
+            self._samples_added += count
+            self._admit_batch(admitted)
+        return count
+
+    def _admit_batch(self, batch) -> None:
+        """Columnar admit hook; the default decodes to the object path."""
+        self._admit_many(list(batch))
+
+    # -- columnar queries --------------------------------------------------
+
+    def sample_batch(self, k: int | None = None, *, rng=None):
+        """The current sample as a :class:`RecordBatch`.
+
+        The base implementation is a decode shim over :meth:`sample`
+        (available wherever ``sample()`` is); columnar structures
+        override it with a pure-array path that never materialises
+        record objects.
+
+        Args:
+            k: optionally thin to a uniform ``k``-subset.
+            rng: optional ``numpy.random.Generator`` for the subset
+                draw (and, in columnar overrides, the deferred-eviction
+                draw), so queries need not perturb the structure's own
+                RNG stream.
+        """
+        from .storage.recordbatch import RecordBatch
+
+        schema = getattr(self, "schema", None)
+        if schema is None:
+            raise TypeError(f"{self.name} has no record schema; "
+                            "sample_batch is unavailable")
+        batch = RecordBatch.from_records(schema, self.sample())
+        return self._thin_batch(batch, k, rng)
+
+    def snapshot_batch(self, k: int | None = None, *, rng=None):
+        """(:meth:`sample_batch` result, stream position) in one call.
+
+        The columnar twin of the sharded service's ``snapshot``: the
+        returned ``seen`` count is what merge allocation weighs.
+        """
+        return self.sample_batch(k, rng=rng), self._seen
+
+    def _thin_batch(self, batch, k: int | None, rng):
+        if k is None:
+            return batch
+        if k > len(batch):
+            raise ValueError(
+                f"cannot draw {k} records from a sample of {len(batch)}")
+        gen = rng if rng is not None else self._np_rng
+        return batch.take(gen.choice(len(batch), size=k, replace=False))
+
     def ingest(self, n: int) -> None:
         """Present ``n`` stream records (count-only fast path)."""
         if n < 0:
@@ -499,6 +580,27 @@ class StreamReservoir(abc.ABC):
         survivors = [record for i, record in enumerate(disk_records)
                      if i not in victims]
         return survivors + list(pending)
+
+    @staticmethod
+    def apply_pending_batch(disk: np.ndarray, pending: np.ndarray,
+                            np_rng: np.random.Generator) -> np.ndarray:
+        """Vectorised :meth:`apply_pending` over structured row arrays.
+
+        The victim set is the same uniform without-replacement draw;
+        victims are overwritten *in place* by the pending rows (the
+        same multiset as survivors-plus-pending, one fancy-index write
+        instead of an O(n) rebuild).  ``disk`` must be a freshly
+        allocated array the caller owns -- typically the
+        ``np.concatenate`` of ledger slabs.
+        """
+        if len(pending) == 0:
+            return disk
+        if len(pending) > len(disk):
+            raise ValueError("more pending records than disk residents")
+        victims = np_rng.choice(len(disk), size=len(pending),
+                                replace=False)
+        disk[victims] = pending
+        return disk
 
     #: Dense-draw chunk bound for _count_uniform_admissions: caps every
     #: transient allocation at ~8 MB regardless of the ingest size.

@@ -82,3 +82,43 @@ def merge_shard_samples(rng: np.random.Generator,
     # by-shard grouping from the returned order.
     order = rng.permutation(len(merged))
     return [merged[i] for i in order]
+
+
+def merge_shard_batches(rng: np.random.Generator,
+                        payloads: Sequence[dict], k: int, schema):
+    """Columnar :func:`merge_shard_samples`: one ``RecordBatch`` out.
+
+    Each shard's allocated prefix is encoded into the schema's
+    structured dtype once, the pieces are concatenated, and the
+    de-grouping shuffle is a single row permutation.  Consumes the
+    merge RNG identically to the scalar helper (one allocation draw,
+    one permutation), so the two return the same sample multiset from
+    the same generator state.
+    """
+    from ..storage.recordbatch import RecordBatch
+
+    seen = [p["seen"] for p in payloads]
+    counts = allocate_counts(rng, seen, k)
+    parts = []
+    for payload, count in zip(payloads, counts):
+        if count > len(payload["records"]):
+            raise ValueError(
+                f"allocation wants {count} records from a shard that "
+                f"returned {len(payload['records'])} (reservoir size "
+                f"{payload['size']}); request k no larger than the "
+                f"smallest shard reservoir"
+            )
+        if count:
+            records = payload["records"][:count]
+            if isinstance(records, RecordBatch):
+                parts.append(records.array)
+            else:
+                parts.append(
+                    RecordBatch.from_records(schema, records).array
+                )
+    if parts:
+        merged = np.concatenate(parts)
+    else:
+        merged = np.empty(0, dtype=schema.dtype)
+    order = rng.permutation(len(merged))
+    return RecordBatch(schema, merged[order])

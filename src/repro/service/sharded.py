@@ -34,6 +34,7 @@ import numpy as np
 from ..core.geometric_file import GeometricFile, GeometricFileConfig
 from ..core.multi import MultiFileConfig, MultipleGeometricFiles
 from ..estimate import (
+    BatchQuery,
     Estimate,
     estimate_avg,
     estimate_count,
@@ -42,8 +43,9 @@ from ..estimate import (
 from ..obs import ReservoirStats, aggregate_stats, stats_from_dict
 from ..storage.device import DeviceSpec
 from ..storage.disk_model import DiskParameters
-from ..storage.records import Record
-from .merge import merge_shard_samples
+from ..storage.recordbatch import RecordBatch
+from ..storage.records import Record, RecordSchema
+from .merge import merge_shard_batches, merge_shard_samples
 from .partition import make_partitioner
 from .pool import InlinePool, ProcessPool, ShardDead
 from .spec import ShardSpec, shard_directory
@@ -263,6 +265,41 @@ class ShardedReservoir:
         seen = sum(p["seen"] for p in payloads)
         self._emit("merged_query", k=k, seen=seen)
         return merged, seen
+
+    def sample_batch(self, k: int) -> RecordBatch:
+        """:meth:`sample` as one :class:`RecordBatch` (columnar merge).
+
+        Same snapshot semantics and the same merge-RNG consumption as
+        :meth:`sample`; shard replies are encoded once into the shared
+        record dtype and merged without per-record Python work.
+        """
+        payloads = self._broadcast_query("sample", k)
+        merged = merge_shard_batches(self._merge_rng, payloads, k,
+                                     self._schema)
+        self._emit("merged_query", k=k,
+                   seen=sum(p["seen"] for p in payloads))
+        return merged
+
+    def snapshot_batch(self, k: int) -> tuple[RecordBatch, int]:
+        """Like :meth:`sample_batch`, also returning the union ``seen``."""
+        payloads = self._broadcast_query("sample", k)
+        merged = merge_shard_batches(self._merge_rng, payloads, k,
+                                     self._schema)
+        seen = sum(p["seen"] for p in payloads)
+        self._emit("merged_query", k=k, seen=seen)
+        return merged, seen
+
+    def query_batch(self, k: int) -> BatchQuery:
+        """A :class:`~repro.estimate.BatchQuery` over a fresh merged
+        ``k``-sample, scaled by the union ``seen`` count -- columnar
+        AQP (filter / avg / sum / count) in a handful of array
+        reductions."""
+        batch, seen = self.snapshot_batch(k)
+        return BatchQuery(batch, seen)
+
+    @property
+    def _schema(self) -> RecordSchema:
+        return RecordSchema(self.config.record_size)
 
     def stats(self) -> ReservoirStats:
         """Aggregated service snapshot; see

@@ -15,6 +15,7 @@ from .device import (
 )
 from .disk_model import DiskModel, DiskParameters, DiskStats
 from .extents import Extent, ExtentAllocator
+from .recordbatch import RecordBatch
 from .records import (
     MIN_RECORD_SIZE,
     Record,
@@ -36,6 +37,7 @@ __all__ = [
     "MemoryBlockDevice",
     "MIN_RECORD_SIZE",
     "Record",
+    "RecordBatch",
     "RecordSchema",
     "SimulatedBlockDevice",
     "WeightedRecord",

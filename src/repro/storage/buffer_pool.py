@@ -97,6 +97,31 @@ class LRUBufferPool:
         self._frames[block] = frame
         return frame.data
 
+    def get_many(self, blocks: list[int], *, dirty: bool = False) -> None:
+        """Touch ``blocks`` in order through the LRU, discarding contents.
+
+        Batched form of a ``get`` (plus optional ``mark_dirty``) per
+        block for callers that only need the cache traffic -- the
+        virtual-memory baseline's vectorised admit path.  Hit/miss/
+        eviction accounting is identical to the equivalent scalar loop:
+        the LRU walk is inherently sequential, so this saves only the
+        per-call overhead, never a stat.
+        """
+        frames = self._frames
+        for block in blocks:
+            frame = frames.get(block)
+            if frame is not None:
+                self.stats.hits += 1
+                frames.move_to_end(block)
+            else:
+                self.stats.misses += 1
+                self._ensure_room()
+                data = bytearray(self.device.read_blocks(block, 1))
+                frame = _Frame(data)
+                frames[block] = frame
+            if dirty:
+                frame.dirty = True
+
     def put(self, block: int, data: bytes) -> None:
         """Replace the contents of ``block`` entirely (no read on miss)."""
         if len(data) != self.device.block_size:

@@ -89,6 +89,49 @@ def read_discard(device: "BlockDevice", block: int, n_blocks: int) -> None:
         n_blocks -= burst
 
 
+def device_stores_bytes(device: "BlockDevice") -> bool:
+    """True when reads return what was written (payloads worth encoding).
+
+    The columnar flush path encodes segments only for byte-storing
+    devices; cost-model-only backends keep the :func:`write_zeros`
+    charge.  Devices advertise via a ``stores_data`` attribute; absent
+    that, a device with no ``charge_write`` fast path performs real
+    writes anyway, so it counts as byte-storing.
+    """
+    probe = getattr(device, "stores_data", None)
+    if probe is not None:
+        return bool(probe)
+    return getattr(device, "charge_write", None) is None
+
+
+def write_payload(device: "BlockDevice", block: int, n_blocks: int,
+                  data: bytes) -> None:
+    """Write real payload bytes with :func:`write_zeros`-identical cost.
+
+    ``data`` is zero-padded (or truncated) to ``n_blocks`` whole blocks
+    and written in the same bounded bursts as :func:`write_zeros`'s
+    fallback loop -- the same number of ``write_blocks`` calls over the
+    same block ranges -- so every :class:`DiskStats` counter reconciles
+    bit-exactly whichever helper ran.  Callers gate on
+    :func:`device_stores_bytes`; for cost-only devices they keep
+    calling :func:`write_zeros`, whose fast path the model charges
+    identically.
+    """
+    block_size = device.block_size
+    need = n_blocks * block_size
+    if len(data) != need:
+        data = bytes(data[:need]) + b"\x00" * max(0, need - len(data))
+    chunk = 256
+    offset = 0
+    while n_blocks > 0:
+        burst = min(chunk, n_blocks)
+        device.write_blocks(block,
+                            bytes(data[offset:offset + burst * block_size]))
+        block += burst
+        n_blocks -= burst
+        offset += burst * block_size
+
+
 def _check_range(device: "BlockDevice", block: int, n_blocks: int) -> None:
     if block < 0 or n_blocks < 1:
         raise ValueError("invalid block range")
@@ -179,6 +222,9 @@ class MemoryBlockDevice:
     def n_blocks(self) -> int:
         return self._n_blocks
 
+    #: Reads return real bytes; the columnar flush encodes payloads.
+    stores_data = True
+
     def stats(self) -> DiskStats:
         """Operation counts so far (the time fields stay zero)."""
         return self._ops.snapshot()
@@ -266,6 +312,11 @@ class SimulatedBlockDevice:
         """Simulated seconds of disk time consumed so far."""
         return self.model.clock
 
+    @property
+    def stores_data(self) -> bool:
+        """True when payload bytes are retained (reads are faithful)."""
+        return self._data is not None
+
     def stats(self) -> DiskStats:
         """Snapshot of the cost model's cumulative counters."""
         return self.model.stats.snapshot()
@@ -350,6 +401,9 @@ class FileBlockDevice:
     @property
     def path(self) -> str:
         return self._path
+
+    #: Reads return real bytes; the columnar flush encodes payloads.
+    stores_data = True
 
     def stats(self) -> DiskStats:
         """Operation counts so far (the time fields stay zero)."""

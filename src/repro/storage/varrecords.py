@@ -108,24 +108,43 @@ class VariableRecordCodec:
         """
         if budget_bytes < _LENGTH.size:
             raise ValueError("budget smaller than a run terminator")
-        pieces: list[bytes] = []
+        records = list(records)
+        # Pass 1: sizes only, finding the first record that does not
+        # fit (keeping room for the zero terminator).
+        sizes: list[int] = []
         used = 0
-        overflow: list[Record] = []
-        spilling = False
-        for record in records:
-            if spilling:
-                overflow.append(record)
-                continue
-            encoded = self.encode(record)
-            # Keep room for the zero terminator.
-            if used + len(encoded) + _LENGTH.size > budget_bytes:
-                overflow.append(record)
-                spilling = True
-                continue
-            pieces.append(encoded)
-            used += len(encoded)
-        pieces.append(_LENGTH.pack(0))
-        return b"".join(pieces), overflow
+        cut = len(records)
+        for i, record in enumerate(records):
+            size = self.encoded_size(record)
+            if size > self.max_record_bytes:
+                raise ValueError(
+                    f"record of {size} B exceeds the "
+                    f"{self.max_record_bytes} B limit"
+                )
+            if used + size + _LENGTH.size > budget_bytes:
+                cut = i
+                break
+            sizes.append(size)
+            used += size
+        overflow = records[cut:]
+        # Pass 2: one exact-size allocation, framed in place -- no
+        # per-record bytes objects, no join.  The fresh bytearray is
+        # already zeroed, which doubles as the run terminator.
+        out = bytearray(used + _LENGTH.size)
+        offset = 0
+        pack_length = _LENGTH.pack_into
+        pack_header = _HEADER.pack_into
+        header_end = self.overhead
+        for record, size in zip(records, sizes):
+            pack_length(out, offset, size - _LENGTH.size)
+            pack_header(out, offset + _LENGTH.size,
+                        record.key, record.value, record.timestamp)
+            payload = record.payload
+            if payload:
+                start = offset + header_end
+                out[start:start + len(payload)] = payload
+            offset += size
+        return bytes(out), overflow
 
     def pad_to_blocks(self, run: bytes, block_size: int) -> bytes:
         """Zero-pad a run to a whole number of blocks."""

@@ -23,6 +23,7 @@ from repro.bench.perf import (
     render_shard_report,
     shard_smoke,
 )
+from repro.bench.pipeline import pipeline_smoke, render_pipeline_report
 from repro.bench.query import query_smoke, render_query_report
 
 RECORDS = 200_000
@@ -68,6 +69,37 @@ def test_columnar_query_speedups():
     )
     assert report["zone_map"]["speedup"] >= 2.0, (
         "zone-map query_batch regressed toward the record-iterator scan"
+    )
+
+
+@pytest.mark.perf
+def test_pipelined_flush_speedup():
+    """Double buffering >= 1.5x, elevator strictly fewer seeks.
+
+    Both gates run on the simulated-disk timeline, so they hold on any
+    host: the overlap ratio is a function of the flush plans and the
+    ``stream_rate`` config, not of wall-clock threading luck (measured:
+    1.73x, see BENCH_pipeline.json).  ``pipeline_smoke`` itself raises
+    if the pipelined engine's DiskStats or device clock diverges from
+    the synchronous twin, so passing this gate also re-proves the
+    determinism contract.
+    """
+    report = pipeline_smoke()
+    print()
+    print(render_pipeline_report(report))
+    assert report["speedup"] >= 1.5, (
+        "pipelined ingest no longer reaches 1.5x synchronous throughput "
+        "on the simulated-disk timeline; the double buffer has stopped "
+        "overlapping buffer fill with the disk drain"
+    )
+    multi = report["multi_file"]
+    assert multi["elevator_seeks"] < multi["fifo_seeks"], (
+        "the elevator scheduler no longer saves seeks on the multi-file "
+        "flush path; address sorting or extent coalescing regressed"
+    )
+    assert multi["merged_extents"] > 0, (
+        "the elevator merged no extents at all on a multi-file flush "
+        "path that is built from adjacent sub-file segments"
     )
 
 

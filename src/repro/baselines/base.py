@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..core.buffer import SampleBuffer
+from ..pipeline import SCHEDULER_NAMES, FlushEngine, FlushPlan
 from ..reservoir import AdmissionMode, StreamReservoir
 from ..storage.device import BlockDevice, SimulatedBlockDevice, write_zeros
 from ..storage.recordbatch import RecordBatch
@@ -45,6 +46,13 @@ class DiskReservoirConfig:
             slabs instead of record-object lists.  Implies
             ``retain_records``.  I/O charges are identical to the
             scalar path.
+        pipeline: run steady-state flushes on a background writer
+            thread; see
+            :class:`~repro.core.geometric_file.GeometricFileConfig`.
+        io_scheduler: ``"fifo"`` (recorded order) or ``"elevator"``
+            (address-sorted, coalesced bursts); see :mod:`repro.pipeline`.
+        stream_rate: records/second the ingest side produces, for the
+            simulated overlap timeline; ``None`` = instantaneous.
     """
 
     capacity: int
@@ -54,6 +62,9 @@ class DiskReservoirConfig:
     retain_records: bool = False
     admission: AdmissionMode = "always"
     columnar: bool = False
+    pipeline: bool = False
+    io_scheduler: str = "fifo"
+    stream_rate: float | None = None
 
     def __post_init__(self) -> None:
         if self.columnar and not self.retain_records:
@@ -68,6 +79,13 @@ class DiskReservoirConfig:
             raise ValueError("record_size must be positive")
         if self.pool_blocks < 1:
             raise ValueError("pool needs at least one block")
+        if self.io_scheduler not in SCHEDULER_NAMES:
+            raise ValueError(
+                f"unknown io_scheduler {self.io_scheduler!r}; expected "
+                f"one of {SCHEDULER_NAMES}"
+            )
+        if self.stream_rate is not None and self.stream_rate <= 0:
+            raise ValueError("stream_rate must be positive")
 
 
 class SequentialAppender:
@@ -135,6 +153,7 @@ class BufferedDiskReservoir(StreamReservoir):
                                    np_rng=self._np_rng,
                                    schema=(self.schema if config.columnar
                                            else None))
+        self._engine = FlushEngine.for_config(device, config)
         self._fill_appender = SequentialAppender(device, self.schema)
         self._filled = 0
         self._fill_records: list[Record] | None = (
@@ -150,8 +169,24 @@ class BufferedDiskReservoir(StreamReservoir):
         raise NotImplementedError
 
     def _steady_flush(self, records: list[Record] | RecordBatch | None,
-                      count: int) -> None:
+                      count: int, plan: FlushPlan) -> None:
+        """Record one steady-state flush's device ops into ``plan``.
+
+        Called on the ingest thread; all RNG draws and in-memory record
+        splicing must happen here.  The recorded plan executes inline
+        (``pipeline=False``) or on the writer thread afterwards.
+        """
         raise NotImplementedError
+
+    def _flush_buffer(self, records: list[Record] | RecordBatch | None,
+                      count: int) -> None:
+        """Drive one drained buffer through plan build, submit, and emit."""
+        plan = FlushPlan()
+        self._steady_flush(records, count, plan)
+        self._submit_plan(plan, count)
+        self.flushes += 1
+        self._emit("flush", index=self.flushes, records=count,
+                   phase="steady")
 
     # -- observers -------------------------------------------------------------
 
@@ -178,10 +213,7 @@ class BufferedDiskReservoir(StreamReservoir):
         self.buffer.add_admitted(record, self.capacity)
         if self.buffer.is_full:
             records, _, count = self.buffer.drain()
-            self._steady_flush(records, count)
-            self.flushes += 1
-            self._emit("flush", index=self.flushes, records=count,
-                       phase="steady")
+            self._flush_buffer(records, count)
 
     def _admit_many(self, records: list[Record | None]) -> None:
         # Batch form of _admit: the fill-phase prefix goes out as one
@@ -193,10 +225,7 @@ class BufferedDiskReservoir(StreamReservoir):
             i += self.buffer.absorb_many(records, self.capacity, start=i)
             if self.buffer.is_full:
                 drained, _, count = self.buffer.drain()
-                self._steady_flush(drained, count)
-                self.flushes += 1
-                self._emit("flush", index=self.flushes, records=count,
-                           phase="steady")
+                self._flush_buffer(drained, count)
 
     def _admit_batch(self, batch: RecordBatch) -> None:
         # Columnar twin of _admit_many: the fill-phase prefix is decoded
@@ -214,10 +243,7 @@ class BufferedDiskReservoir(StreamReservoir):
             i += self.buffer.absorb_batch(batch, self.capacity, start=i)
             if self.buffer.is_full:
                 drained, _, count = self.buffer.drain()
-                self._steady_flush(drained, count)
-                self.flushes += 1
-                self._emit("flush", index=self.flushes, records=count,
-                           phase="steady")
+                self._flush_buffer(drained, count)
 
     def _admit_count(self, n: int) -> None:
         if self.in_fill_phase:
@@ -233,10 +259,7 @@ class BufferedDiskReservoir(StreamReservoir):
             n -= take
             if self.buffer.is_full:
                 _, __, count = self.buffer.drain()
-                self._steady_flush(None, count)
-                self.flushes += 1
-                self._emit("flush", index=self.flushes, records=count,
-                           phase="steady")
+                self._flush_buffer(None, count)
 
     # -- fill phase ----------------------------------------------------------------
 

@@ -39,7 +39,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..storage.device import BlockDevice, write_zeros
+from ..pipeline import FlushPlan
+from ..storage.device import BlockDevice
 from ..storage.recordbatch import RecordBatch
 from ..storage.records import Record
 from ..reservoir import draw_victim_counts
@@ -108,12 +109,15 @@ class LocalOverwriteReservoir(BufferedDiskReservoir):
                                  records=records)]
 
     def _steady_flush(self, records: list[Record] | None,
-                      count: int) -> None:
+                      count: int, plan: FlushPlan) -> None:
         """Evict a uniform B-subset cohort-by-cohort; write one piece each.
 
         The eviction split is the same multivariate hypergeometric draw
         the geometric file uses (it is forced by correctness, not by
-        the data structure).
+        the data structure).  Cohort writes land in the plan in cohort
+        order; the elevator scheduler sorts them by region address and
+        merges adjacent pieces, which is where the multi-cohort seek
+        bill shrinks.
         """
         shares = self._hypergeometric_split(count)
         touched = 0
@@ -130,7 +134,7 @@ class LocalOverwriteReservoir(BufferedDiskReservoir):
             blocks = max(1, self.schema.blocks_for_records(
                 share, self.device.block_size
             ))
-            write_zeros(self.device, cohort.region_block, blocks)
+            plan.write(cohort.region_block, blocks)
             if touched == 1:
                 first_region = cohort.region_block
         self._cohorts = [c for c in self._cohorts if c.live > 0]
@@ -147,6 +151,7 @@ class LocalOverwriteReservoir(BufferedDiskReservoir):
 
     def sample(self) -> list[Record]:
         """Current reservoir contents plus pending buffered admissions."""
+        self.flush_barrier()
         if self.config.retain_records is False:
             raise TypeError("reservoir is running in count-only mode")
         if self.in_fill_phase:

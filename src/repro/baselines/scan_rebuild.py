@@ -20,7 +20,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..storage.device import BlockDevice, read_discard, write_zeros
+from ..pipeline import FlushPlan
+from ..storage.device import BlockDevice
 from ..storage.recordbatch import RecordBatch
 from ..storage.records import Record
 from .base import BufferedDiskReservoir, DiskReservoirConfig
@@ -59,15 +60,17 @@ class ScanReservoir(BufferedDiskReservoir):
         return {"file_blocks": self._file_blocks}
 
     def _steady_flush(self, records: list[Record] | None,
-                      count: int) -> None:
+                      count: int, plan: FlushPlan) -> None:
         """Read the whole file, splice in the new samples, write it back.
 
         The scan is charged as two full sequential passes in large
         bursts; with a big block size "most disk blocks will receive at
         least one new sample" (Section 3.2), so every block is
-        rewritten.
+        rewritten.  The device charges are cost-only (the spliced
+        records live in memory), so the elevator scheduler is free to
+        run the rewrite pass before the scan pass.
         """
-        self._charge_full_scan()
+        self._charge_full_scan(plan)
         if self._records is not None and records is not None:
             # Same without-replacement draw in both engines, so the
             # modes stay bit-exact on a shared seed.
@@ -82,12 +85,13 @@ class ScanReservoir(BufferedDiskReservoir):
                 for slot, record in zip(victims, records):
                     self._records[slot] = record
 
-    def _charge_full_scan(self) -> None:
-        read_discard(self.device, 0, self._file_blocks)
-        write_zeros(self.device, 0, self._file_blocks)
+    def _charge_full_scan(self, plan: FlushPlan) -> None:
+        plan.read(0, self._file_blocks)
+        plan.write(0, self._file_blocks)
 
     def sample(self) -> list[Record]:
         """Current reservoir contents plus pending buffered admissions."""
+        self.flush_barrier()
         if self._records is None and self._fill_records is None:
             raise TypeError("reservoir is running in count-only mode")
         if self._records is None:

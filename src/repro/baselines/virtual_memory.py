@@ -159,13 +159,14 @@ class VirtualMemoryReservoir(BufferedDiskReservoir):
         if self._records is not None and record is not None:
             self._records[slot] = record
 
-    def _steady_flush(self, records, count) -> None:  # pragma: no cover
+    def _steady_flush(self, records, count, plan) -> None:  # pragma: no cover
         raise AssertionError("virtual-memory option never batch-flushes")
 
     # -- inspection -----------------------------------------------------------------
 
     def sample(self) -> list[Record]:
         """Current reservoir contents (record-retaining mode only)."""
+        self.flush_barrier()
         if self._records is None:
             if self._fill_records is not None:
                 return list(self._fill_records)

@@ -15,6 +15,11 @@ from .perf import (
     shard_smoke,
     write_report,
 )
+from .pipeline import (
+    pipeline_smoke,
+    render_pipeline_report,
+    write_pipeline_report,
+)
 from .query import query_smoke, render_query_report
 from .report import ascii_chart, io_summary_table, throughput_table, to_csv
 from .runner import RunResult, SeriesPoint, run_until
@@ -30,10 +35,13 @@ __all__ = [
     "experiment_3",
     "io_summary_table",
     "perf_smoke",
+    "pipeline_smoke",
     "query_smoke",
+    "render_pipeline_report",
     "render_query_report",
     "render_report",
     "render_shard_report",
+    "write_pipeline_report",
     "run_until",
     "shard_smoke",
     "throughput_table",

@@ -20,6 +20,7 @@ Examples::
     repro-bench fig7a --scale 0 --metrics - --trace /tmp/trace.jsonl
     repro-bench --perf-smoke BENCH_ingest.json --batch-size 4096
     repro-bench --scale 0 --perf-smoke --query-report
+    repro-bench --pipeline BENCH_pipeline.json
     repro-bench --shards 4 --pool process
 """
 
@@ -38,7 +39,9 @@ from .bench import (
     experiment_3,
     io_summary_table,
     perf_smoke,
+    pipeline_smoke,
     query_smoke,
+    render_pipeline_report,
     render_query_report,
     render_report,
     render_shard_report,
@@ -85,6 +88,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run the columnar query/AQP benchmark "
                              "(composable with --perf-smoke) and write "
                              "its JSON report (default: BENCH_query.json)")
+    parser.add_argument("--pipeline", metavar="PATH", nargs="?",
+                        const="BENCH_pipeline.json", default=None,
+                        help="run the pipelined-flush benchmark "
+                             "(double-buffer overlap + elevator seek "
+                             "savings; composable with the other smoke "
+                             "flags) and write its JSON report "
+                             "(default: BENCH_pipeline.json)")
     parser.add_argument("--shards", type=int, default=None, metavar="N",
                         help="run the sharded-service ingest benchmark "
                              "with N shard workers instead of a Figure 7 "
@@ -142,6 +152,14 @@ def main(argv: list[str] | None = None) -> int:
         write_report(report, args.query_report)
         print(f"\nwrote {args.query_report}")
         ran_smoke = True
+    if args.pipeline is not None:
+        report = pipeline_smoke(seed=args.seed)
+        if ran_smoke:
+            print()
+        print(render_pipeline_report(report))
+        write_report(report, args.pipeline)
+        print(f"\nwrote {args.pipeline}")
+        ran_smoke = True
     if ran_smoke:
         return 0
     if args.shards is not None:
@@ -158,7 +176,7 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.experiment is None:
         parser.error("an experiment is required unless --perf-smoke, "
-                     "--query-report, or --shards is set")
+                     "--query-report, --pipeline, or --shards is set")
     spec = _EXPERIMENTS[args.experiment](scale=args.scale, seed=args.seed)
     names = args.only or list(ALTERNATIVE_NAMES)
 

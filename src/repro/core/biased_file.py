@@ -74,6 +74,7 @@ class BiasedSamplingMixin:
 
     def offer(self, record: Record) -> None:
         """Present one stream record (Algorithm 4 admission)."""
+        self._check_engine()
         weight = self.weight_fn(record)
         if weight <= 0:
             raise ValueError(

@@ -494,6 +494,14 @@ class SampleBuffer:
         Columnar buffers return a freshly-permuted
         :class:`~repro.storage.recordbatch.RecordBatch` (the slab is
         reused for the next fill) with ``weights`` always ``None``.
+
+        Double-buffering contract (:mod:`repro.pipeline`): the return
+        value never aliases live buffer storage -- the object path
+        copies the record list, and the columnar path's permutation is
+        a fancy-index *copy* of the slab, not a view.  The drained
+        result is therefore a *sealed* buffer: the ingest thread keeps
+        admitting into this (now empty) buffer while the background
+        writer drains the sealed one, with no shared mutable state.
         """
         if self._slab is not None:
             count = self._count

@@ -31,6 +31,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..pipeline import SCHEDULER_NAMES, FlushEngine, FlushPlan
 from ..reservoir import (
     AdmissionMode,
     StreamReservoir,
@@ -41,9 +42,6 @@ from ..storage.device import (
     BlockDevice,
     SimulatedBlockDevice,
     device_stores_bytes,
-    read_discard,
-    write_payload,
-    write_zeros,
 )
 from ..storage.extents import Extent, ExtentAllocator
 from ..storage.recordbatch import RecordBatch
@@ -86,6 +84,21 @@ class GeometricFileConfig:
             record objects.  Implies ``retain_records``.  Every I/O
             charge is identical to the scalar path (tested bit-exactly
             against :class:`~repro.storage.disk_model.DiskStats`).
+        pipeline: run flushes on a background writer thread (double
+            buffering: ingestion refills a fresh buffer while the
+            writer drains the sealed one).  Off by default; the
+            synchronous path executes the identical flush plan inline,
+            so both modes are bit-exact on samples, clock, and
+            :class:`~repro.storage.disk_model.DiskStats`.  See
+            :mod:`repro.pipeline`.
+        io_scheduler: flush-plan ordering -- ``"fifo"`` replays the
+            recorded op order (the legacy behaviour), ``"elevator"``
+            sorts segment writes by block address and coalesces
+            adjacent extents into single bursts.
+        stream_rate: records/second the ingest side produces, used to
+            model the CPU fill time a pipelined flush can hide on the
+            simulated timeline; ``None`` models an instantaneous
+            stream (no overlap credit).
     """
 
     capacity: int
@@ -97,6 +110,9 @@ class GeometricFileConfig:
     admission: AdmissionMode = "always"
     extra_seeks_per_segment: int = 2
     columnar: bool = False
+    pipeline: bool = False
+    io_scheduler: str = "fifo"
+    stream_rate: float | None = None
 
     def __post_init__(self) -> None:
         if self.columnar and not self.retain_records:
@@ -115,6 +131,13 @@ class GeometricFileConfig:
             raise ValueError("stack_multiplier must be positive")
         if self.extra_seeks_per_segment < 0:
             raise ValueError("extra seeks cannot be negative")
+        if self.io_scheduler not in SCHEDULER_NAMES:
+            raise ValueError(
+                f"unknown io_scheduler {self.io_scheduler!r}; expected "
+                f"one of {SCHEDULER_NAMES}"
+            )
+        if self.stream_rate is not None and self.stream_rate <= 0:
+            raise ValueError("stream_rate must be positive")
 
     def resolve_beta(self, block_size: int) -> int:
         """The tail group size actually used, in records."""
@@ -160,6 +183,12 @@ class GeometricFile(StreamReservoir):
             stack_records=config.stack_records(),
             n_stack_regions=self.ladder.n_disk_segments + 2,
         )
+        self._engine = FlushEngine.for_config(device, config)
+        # Per-level block counts, precomputed once: the flush hot loop
+        # writes the same ladder of segment sizes every time, so the
+        # per-segment ceil-division is pure overhead.
+        self._segment_blocks = [self._blocks_for(size)
+                                for size in self.ladder.segment_sizes]
         self.buffer = SampleBuffer(config.buffer_capacity, self._rng,
                                    retain_records=config.retain_records,
                                    np_rng=self._np_rng,
@@ -238,6 +267,7 @@ class GeometricFile(StreamReservoir):
                 sharded service's recovery contract) pass a dedicated
                 query RNG here.
         """
+        self.flush_barrier()
         if not self.config.retain_records:
             raise TypeError("file is running in count-only mode")
         combined: list[Record] = []
@@ -263,6 +293,7 @@ class GeometricFile(StreamReservoir):
                 eviction and subset draws (queries that must not
                 perturb the structure's own RNG stream pass one).
         """
+        self.flush_barrier()
         if not self.columnar:
             if not self.config.retain_records:
                 raise TypeError("file is running in count-only mode")
@@ -397,8 +428,14 @@ class GeometricFile(StreamReservoir):
         data = None
         if self._store_bytes and disk_records > 0:
             data = records[:disk_records].to_bytes()
-        self._layout.append_startup(self._blocks_for(disk_records), data)
+        plan = FlushPlan()
+        self._layout.append_startup(plan, self._blocks_for(disk_records),
+                                    data)
+        # In-memory transition completes before the submit: if a
+        # pipelined writer fault surfaces here, the ledger and index
+        # are already consistent and clear_fault() resumes cleanly.
         self._startup_index += 1
+        self._submit_plan(plan, count)
         self.flushes += 1
         self._emit("flush", index=self.flushes, records=count,
                    phase="startup", level=level)
@@ -407,7 +444,8 @@ class GeometricFile(StreamReservoir):
         """Steady-state flush: Algorithm 3 plus the Section 4.5 mechanics."""
         records, weights, count = self.buffer.drain()
         self._evict_victims(count)
-        freed_slots = self._release_all_segments()
+        plan = FlushPlan()
+        freed_slots = self._release_all_segments(plan)
         ledger = self._new_ledger(
             list(self.ladder.segment_sizes), 0, self.ladder.tail_size,
             records,
@@ -425,9 +463,10 @@ class GeometricFile(StreamReservoir):
                 # Segment l physicalises the ledger's matching record
                 # slice: one whole-segment encode, one device write.
                 data = records[offset:offset + size].to_bytes()
-            self._write_slot(level, slot, size, data)
+            self._write_slot(level, slot, size, data, plan)
             offset += size
         self.subsamples = [s for s in self.subsamples if not s.is_dead]
+        self._submit_plan(plan, count)
         self.flushes += 1
         self._emit("flush", index=self.flushes, records=count,
                    phase="steady")
@@ -457,11 +496,11 @@ class GeometricFile(StreamReservoir):
             if k:
                 ledger.evict(k)
 
-    def _release_all_segments(self) -> dict[int, int]:
+    def _release_all_segments(self, plan: FlushPlan) -> dict[int, int]:
         """Every disk-holding subsample surrenders its largest segment.
 
         Returns {level: freed slot index} for the new subsample to
-        reuse, and performs stack reconciliation I/O charging.
+        reuse, and records stack reconciliation I/O into ``plan``.
         """
         freed: dict[int, int] = {}
         for ledger in self.subsamples:
@@ -472,12 +511,13 @@ class GeometricFile(StreamReservoir):
             ledger.release_segment()
             if slot is not None:
                 freed[level] = slot
-            self._reconcile_stack(ledger)
+            self._reconcile_stack(ledger, plan)
             if not ledger.has_disk_segments:
-                self._retire_stack(ledger)
+                self._retire_stack(ledger, plan)
         return freed
 
-    def _reconcile_stack(self, ledger: SubsampleLedger) -> None:
+    def _reconcile_stack(self, ledger: SubsampleLedger,
+                         plan: FlushPlan) -> None:
         event = ledger.reconcile_stack()
         if ledger.overflowed:
             self.stack_overflows += 1
@@ -489,9 +529,10 @@ class GeometricFile(StreamReservoir):
         # sequential write of whatever was pushed (a pop only rewinds
         # the stack pointer but still costs the bookkeeping write).
         blocks = max(1, self._blocks_for(event.pushed))
-        self._layout.write_stack(ledger.stack_region, blocks)
+        self._layout.write_stack(plan, ledger.stack_region, blocks)
 
-    def _retire_stack(self, ledger: SubsampleLedger) -> None:
+    def _retire_stack(self, ledger: SubsampleLedger,
+                      plan: FlushPlan) -> None:
         """Fold a now-tail-only subsample's stack into memory.
 
         Frees the stack region for reuse by younger subsamples; costs
@@ -499,7 +540,7 @@ class GeometricFile(StreamReservoir):
         """
         folded = ledger.fold_stack_into_tail()
         if folded > 0:
-            self._layout.read_stack(ledger.stack_region,
+            self._layout.read_stack(plan, ledger.stack_region,
                                     self._blocks_for(folded))
 
     # -- I/O helpers -------------------------------------------------------------
@@ -510,11 +551,12 @@ class GeometricFile(StreamReservoir):
         return -(-n_records // self._records_per_block)
 
     def _write_slot(self, level: int, slot: int, size: int,
-                    data: bytes | None = None) -> None:
-        """Charge one segment write (sequential) plus modelled overhead."""
-        self._layout.write_slot(level, slot, self._blocks_for(size), data)
-        for _ in range(self.config.extra_seeks_per_segment):
-            self._layout.charge_seek()
+                    data: bytes | None, plan: FlushPlan) -> None:
+        """Record one segment write (sequential) plus modelled overhead."""
+        self._layout.write_slot(
+            plan, level, slot, self._segment_blocks[level], data,
+            overhead=self.config.extra_seeks_per_segment,
+        )
         self._emit("segment_overwrite", level=level, slot=slot,
                    records=size)
 
@@ -618,8 +660,9 @@ class FileLayout:
 
     # -- start-up appends ------------------------------------------------------
 
-    def append_startup(self, blocks: int, data: bytes | None = None) -> None:
-        """Charge one initial subsample's contiguous write.
+    def append_startup(self, plan: FlushPlan, blocks: int,
+                       data: bytes | None = None) -> None:
+        """Record one initial subsample's contiguous write.
 
         Figure 2's "all segment l's together" picture is a *logical*
         map: a slot only needs to be contiguous in itself, because
@@ -638,10 +681,9 @@ class FileLayout:
                         if self.level_extents else self.stack_extent.start)
         end = self.stack_extent.start
         blocks = min(blocks, max(1, end - start)) if end > start else blocks
-        if data is None:
-            write_zeros(self.device, start, blocks)
-        else:
-            write_payload(self.device, start, blocks, data)
+        plan.write(start, blocks, data)
+        # Cursor bookkeeping happens at plan-build time, on the ingest
+        # thread -- the writer thread never touches layout state.
         self._startup_cursor = min(start + blocks,
                                    max(end - 1, start))
 
@@ -664,35 +706,35 @@ class FileLayout:
     def stack_address(self, region: int) -> int:
         return self.stack_extent.start + region * self.stack_blocks
 
-    def write_slot(self, level: int, slot: int, blocks: int,
-                   data: bytes | None = None) -> None:
-        """Overwrite one slot; ``data`` carries real segment bytes.
+    def write_slot(self, plan: FlushPlan, level: int, slot: int,
+                   blocks: int, data: bytes | None = None, *,
+                   overhead: int = 0) -> None:
+        """Record one slot overwrite; ``data`` carries real segment bytes.
 
         With ``data`` the transfer happens through
         :func:`~repro.storage.device.write_payload`, whose burst
         structure matches :func:`write_zeros` exactly -- the cost
         accounting is bit-identical either way (tested).  Cost-only
-        call sites keep passing ``None``.
+        call sites keep passing ``None``.  ``overhead`` models the
+        per-segment boundary read-modify-write seeks; it is charged
+        even when the write itself clamps to nothing, matching the
+        legacy inline path.
         """
         if blocks <= 0:
+            plan.seek(overhead)
             return
         address = self.slot_address(level, slot)
         # Clamp so an unaligned final slot never runs past its extent.
         blocks = min(blocks, self.level_extents[level].end - address)
-        if blocks <= 0:
-            return
-        if data is None:
-            write_zeros(self.device, address, blocks)
-        else:
-            write_payload(self.device, address, blocks, data)
+        plan.write(address, blocks, data, overhead=overhead)
 
-    def write_stack(self, region: int, blocks: int) -> None:
+    def write_stack(self, plan: FlushPlan, region: int, blocks: int) -> None:
         blocks = min(blocks, max(1, self.stack_blocks))
-        write_zeros(self.device, self.stack_address(region), blocks)
+        plan.write(self.stack_address(region), blocks)
 
-    def read_stack(self, region: int, blocks: int) -> None:
+    def read_stack(self, plan: FlushPlan, region: int, blocks: int) -> None:
         blocks = min(blocks, max(1, self.stack_blocks))
-        read_discard(self.device, self.stack_address(region), blocks)
+        plan.read(self.stack_address(region), blocks)
 
     def charge_seek(self) -> None:
         """Charge one isolated random head movement (modelled overhead)."""

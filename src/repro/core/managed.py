@@ -179,6 +179,11 @@ class ManagedSample:
                 as the state, so a reader never sees state from one
                 checkpoint with metadata from another.
         """
+        # Checkpoint barrier: with the pipelined engine, wait for every
+        # queued flush to reach the device before snapshotting, so the
+        # checkpoint never describes I/O the device has not absorbed
+        # (and a parked writer fault surfaces here, not mid-save).
+        self.sample.flush_barrier()
         directory = os.path.dirname(self.path) or "."
         descriptor, temp_path = tempfile.mkstemp(
             dir=directory, prefix=".checkpoint-", suffix=".json"

@@ -37,6 +37,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..pipeline import FlushEngine, FlushPlan
 from ..reservoir import (
     StreamReservoir,
     VictimScratch,
@@ -117,6 +118,10 @@ class MultipleGeometricFiles(StreamReservoir):
             device.block_size
         )
         self.files = self._build_files(device)
+        self._engine = FlushEngine.for_config(device, config)
+        # Per-level block counts, precomputed once (see GeometricFile).
+        self._segment_blocks = [self._blocks_for(size)
+                                for size in self.ladder.segment_sizes]
         self.buffer = SampleBuffer(config.buffer_capacity, self._rng,
                                    retain_records=config.retain_records,
                                    np_rng=self._np_rng,
@@ -214,6 +219,7 @@ class MultipleGeometricFiles(StreamReservoir):
     def sample(self, *, rng=None) -> list[Record]:
         """Current reservoir contents; see
         :meth:`~repro.core.geometric_file.GeometricFile.sample`."""
+        self.flush_barrier()
         if not self.config.retain_records:
             raise TypeError("files are running in count-only mode")
         combined: list[Record] = []
@@ -228,6 +234,7 @@ class MultipleGeometricFiles(StreamReservoir):
     def sample_batch(self, k: int | None = None, *, rng=None) -> RecordBatch:
         """Current reservoir as one :class:`RecordBatch`; see
         :meth:`~repro.core.geometric_file.GeometricFile.sample_batch`."""
+        self.flush_barrier()
         if not self.columnar:
             if not self.config.retain_records:
                 raise TypeError("files are running in count-only mode")
@@ -355,8 +362,14 @@ class MultipleGeometricFiles(StreamReservoir):
         data = None
         if self._store_bytes and disk_records > 0:
             data = records[:disk_records].to_bytes()
-        file.layout.append_startup(self._blocks_for(disk_records), data)
+        plan = FlushPlan()
+        file.layout.append_startup(plan, self._blocks_for(disk_records),
+                                   data)
+        # In-memory transition completes before the submit: if a
+        # pipelined writer fault surfaces here, the ledger and index
+        # are already consistent and clear_fault() resumes cleanly.
         self._startup_index += 1
+        self._submit_plan(plan, count)
         self.flushes += 1
         self._emit("flush", index=self.flushes, records=count,
                    phase="startup", file=file.index, level=level)
@@ -373,6 +386,7 @@ class MultipleGeometricFiles(StreamReservoir):
         )
         ledger.weights = weights
         file.subsamples.insert(0, ledger)
+        plan = FlushPlan()
         offset = 0
         for level, size in enumerate(self.ladder.segment_sizes):
             slot = file.dummy_slots[level]
@@ -380,7 +394,7 @@ class MultipleGeometricFiles(StreamReservoir):
             data = None
             if self._store_bytes:
                 data = records[offset:offset + size].to_bytes()
-            self._write_slot(file, level, slot, size, data)
+            self._write_slot(file, level, slot, size, data, plan)
             offset += size
         # Existing subsamples donate their largest segment back to the
         # dummy (Figure 6 c) and settle their stacks, lazily accumulated
@@ -394,23 +408,25 @@ class MultipleGeometricFiles(StreamReservoir):
             sub.release_segment()
             if slot is not None:
                 new_dummy[level] = slot
-            self._reconcile_stack(file, sub)
+            self._reconcile_stack(file, sub, plan)
             if not sub.has_disk_segments:
-                self._retire_stack(file, sub)
+                self._retire_stack(file, sub, plan)
         file.dummy_slots = [
             new_dummy[level] if level in new_dummy
             else file.layout.take_slot(level)
             for level in range(self.ladder.n_disk_segments)
         ]
-        self._emit("dummy_rotation", file=file.index,
-                   donated=len(new_dummy),
-                   levels=self.ladder.n_disk_segments)
         # Dead (fully-decayed) subsamples in the written file are
         # dropped now; ones in other files wait for their file's turn
         # -- a zero-live ledger draws zero victims, so keeping it an
         # extra rotation is free and avoids an all-files sweep per
-        # flush.
+        # flush.  Both updates land before the submit so a pipelined
+        # writer fault cannot leave the file mid-rotation.
         file.subsamples = [s for s in file.subsamples if not s.is_dead]
+        self._submit_plan(plan, count)
+        self._emit("dummy_rotation", file=file.index,
+                   donated=len(new_dummy),
+                   levels=self.ladder.n_disk_segments)
         self.flushes += 1
         self._emit("flush", index=self.flushes, records=count,
                    phase="steady", file=file.index)
@@ -437,8 +453,8 @@ class MultipleGeometricFiles(StreamReservoir):
             if k:
                 ledger.evict(k)
 
-    def _reconcile_stack(self, file: _SubFile,
-                         ledger: SubsampleLedger) -> None:
+    def _reconcile_stack(self, file: _SubFile, ledger: SubsampleLedger,
+                         plan: FlushPlan) -> None:
         event = ledger.reconcile_stack()
         if ledger.overflowed:
             self.stack_overflows += 1
@@ -448,13 +464,13 @@ class MultipleGeometricFiles(StreamReservoir):
         if not event.touched:
             return
         blocks = max(1, self._blocks_for(event.pushed))
-        file.layout.write_stack(ledger.stack_region, blocks)
+        file.layout.write_stack(plan, ledger.stack_region, blocks)
 
-    def _retire_stack(self, file: _SubFile,
-                      ledger: SubsampleLedger) -> None:
+    def _retire_stack(self, file: _SubFile, ledger: SubsampleLedger,
+                      plan: FlushPlan) -> None:
         folded = ledger.fold_stack_into_tail()
         if folded > 0:
-            file.layout.read_stack(ledger.stack_region,
+            file.layout.read_stack(plan, ledger.stack_region,
                                    self._blocks_for(folded))
 
     def _blocks_for(self, n_records: int) -> int:
@@ -463,9 +479,11 @@ class MultipleGeometricFiles(StreamReservoir):
         return -(-n_records // self._records_per_block)
 
     def _write_slot(self, file: _SubFile, level: int, slot: int,
-                    size: int, data: bytes | None = None) -> None:
-        file.layout.write_slot(level, slot, self._blocks_for(size), data)
-        for _ in range(self.config.extra_seeks_per_segment):
-            file.layout.charge_seek()
+                    size: int, data: bytes | None,
+                    plan: FlushPlan) -> None:
+        file.layout.write_slot(
+            plan, level, slot, self._segment_blocks[level], data,
+            overhead=self.config.extra_seeks_per_segment,
+        )
         self._emit("segment_overwrite", file=file.index, level=level,
                    slot=slot, records=size)

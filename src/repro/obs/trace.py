@@ -35,6 +35,10 @@ EVENT_KINDS = (
     "shard_recovery",
     "merged_query",
     "backpressure",
+    # Pipelined flush engine (repro.pipeline): a flush handed to the
+    # background writer, and an elevator-coalesced I/O plan.
+    "flush_pipelined",
+    "io_coalesced",
 )
 
 

@@ -1,0 +1,26 @@
+"""Pipelined flush engine: flush plans, I/O schedulers, writer thread.
+
+See :mod:`repro.pipeline.engine` for the architecture and the
+determinism/fault contracts; ``docs/PERFORMANCE.md`` has the prose
+version with diagrams.
+"""
+
+from .engine import FlushEngine, PipelineWriteError
+from .plan import FlushPlan, execute_ops
+from .scheduler import (
+    SCHEDULER_NAMES,
+    ElevatorScheduler,
+    FifoScheduler,
+    make_scheduler,
+)
+
+__all__ = [
+    "FlushEngine",
+    "FlushPlan",
+    "PipelineWriteError",
+    "ElevatorScheduler",
+    "FifoScheduler",
+    "SCHEDULER_NAMES",
+    "make_scheduler",
+    "execute_ops",
+]

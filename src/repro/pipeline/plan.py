@@ -1,0 +1,135 @@
+"""Flush plans: a recorded sequence of device operations.
+
+A flush used to talk to its :class:`~repro.storage.device.BlockDevice`
+directly, interleaving segment writes, stack writes/reads, and the
+modelled per-segment overhead seeks as it walked the ledgers.  A
+:class:`FlushPlan` records exactly that op sequence instead -- every
+payload already encoded, every address already resolved -- so the plan
+can be (a) executed later on a writer thread without touching any
+structure state or RNG, and (b) reordered by an
+:class:`~repro.pipeline.scheduler.IOScheduler` before execution.
+
+Op encoding (plain tuples; the writer thread only iterates them):
+
+* ``("write", block, n_blocks, data_or_None, overhead_seeks)`` --
+  a segment/stack/cohort write.  ``data=None`` charges through
+  :func:`~repro.storage.device.write_zeros` (cost-only call sites),
+  bytes go through :func:`~repro.storage.device.write_payload`; both
+  produce identical :class:`~repro.storage.disk_model.DiskStats`
+  charges.  ``overhead_seeks`` models the unaligned-boundary
+  read-modify-write bill (``extra_seeks_per_segment``) and is charged
+  *after* the write, exactly where the legacy inline path charged it.
+* ``("read", block, n_blocks)`` -- a cost-charging read
+  (:func:`~repro.storage.device.read_discard`).
+* ``("seek", count)`` -- bare random head movements with no transfer.
+* ``("stream", n_blocks)`` -- emitted only by the elevator scheduler:
+  the head streams past ``n_blocks`` it neither reads nor writes
+  instead of seeking (cheaper than a seek for small gaps; see
+  :meth:`~repro.storage.disk_model.DiskModel.stream_past`).
+
+Determinism contract: a plan is built entirely on the ingest thread
+(all RNG consumption, all payload encoding happens at build time);
+executing the same op sequence produces the same device charges
+whether it runs inline or on the writer thread.
+"""
+
+from __future__ import annotations
+
+from ..storage.device import read_discard, write_payload, write_zeros
+
+WRITE = "write"
+READ = "read"
+SEEK = "seek"
+STREAM = "stream"
+
+
+class FlushPlan:
+    """One flush's device operations, recorded in issue order."""
+
+    __slots__ = ("ops", "n_writes", "n_reads", "n_seeks", "records")
+
+    def __init__(self) -> None:
+        self.ops: list[tuple] = []
+        self.n_writes = 0
+        self.n_reads = 0
+        self.n_seeks = 0
+        #: Records drained into this plan (timeline modelling).
+        self.records = 0
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def write(self, block: int, n_blocks: int,
+              data: bytes | None = None, *, overhead: int = 0) -> None:
+        """Record one extent write plus its modelled overhead seeks."""
+        if n_blocks <= 0:
+            # The legacy inline path still charged the per-segment
+            # overhead when the write itself clamped to nothing.
+            self.seek(overhead)
+            return
+        self.ops.append((WRITE, block, n_blocks, data, overhead))
+        self.n_writes += 1
+        self.n_seeks += overhead
+
+    def read(self, block: int, n_blocks: int) -> None:
+        """Record one cost-charging read."""
+        if n_blocks <= 0:
+            return
+        self.ops.append((READ, block, n_blocks))
+        self.n_reads += 1
+
+    def seek(self, count: int = 1) -> None:
+        """Record ``count`` bare random head movements."""
+        if count <= 0:
+            return
+        self.ops.append((SEEK, count))
+        self.n_seeks += count
+
+
+def _device_seek(device):
+    """The device's bare-seek charger, or ``None`` for unmodelled devices.
+
+    Mirrors the legacy ``FileLayout.charge_seek`` duck typing: a device
+    may expose ``charge_seek`` directly (striped volumes) or through its
+    cost ``model``; byte-only backends charge nothing.
+    """
+    direct = getattr(device, "charge_seek", None)
+    if direct is not None:
+        return direct
+    model = getattr(device, "model", None)
+    if model is not None:
+        return model.charge_seek
+    return None
+
+
+def execute_ops(ops, device) -> None:
+    """Run a (possibly scheduled) op sequence against ``device``.
+
+    This is the *only* code that touches the device on behalf of a
+    plan; the synchronous and pipelined engines both funnel through it,
+    which is what makes twin-engine runs bit-exact.
+    """
+    charge_seek = _device_seek(device)
+    stream = getattr(device, "charge_stream", None)
+    for op in ops:
+        kind = op[0]
+        if kind == WRITE:
+            _, block, n_blocks, data, overhead = op
+            if data is None:
+                write_zeros(device, block, n_blocks)
+            else:
+                write_payload(device, block, n_blocks, data)
+            if overhead and charge_seek is not None:
+                for _ in range(overhead):
+                    charge_seek()
+        elif kind == READ:
+            read_discard(device, op[1], op[2])
+        elif kind == SEEK:
+            if charge_seek is not None:
+                for _ in range(op[1]):
+                    charge_seek()
+        elif kind == STREAM:
+            if stream is not None:
+                stream(op[1])
+        else:  # pragma: no cover - corrupt plan
+            raise AssertionError(f"unknown plan op {kind!r}")

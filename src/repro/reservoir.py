@@ -250,6 +250,9 @@ class StreamReservoir(abc.ABC):
         #: Minimum useful ingest chunk for the benchmark runner
         #: (flush-based structures override with their flush quantum).
         self.chunk_floor = 1
+        #: Flush engine (repro.pipeline.FlushEngine), attached by
+        #: disk-backed subclasses; None for purely in-memory paths.
+        self._engine = None
         # Stream position (records offered) and admissions; exposed
         # through stats() and the deprecated seen/samples_added shims.
         self._seen = 0
@@ -285,6 +288,73 @@ class StreamReservoir(abc.ABC):
         """Simulated disk seconds consumed so far (subclass hook)."""
         return 0.0
 
+    # -- pipelined flushing -------------------------------------------------
+
+    def _check_engine(self) -> None:
+        """Surface a parked writer-thread fault on the ingest path.
+
+        Cheap enough for the per-record loop: two attribute reads when
+        healthy.  Raises :class:`~repro.pipeline.PipelineWriteError`
+        until :meth:`clear_fault` is called; the in-memory ledgers are
+        authoritative, so no admitted record is lost either way.
+        """
+        engine = self._engine
+        if engine is not None and engine.fault is not None:
+            engine.check()
+
+    def flush_barrier(self) -> None:
+        """Wait until every background flush has reached the device.
+
+        A no-op for synchronous engines.  Required before reading
+        device state (checkpoints, retained-byte verification); also
+        surfaces any parked writer fault.
+        """
+        engine = self._engine
+        if engine is not None:
+            engine.barrier()
+
+    def close(self) -> None:
+        """Drain pending flushes and stop the writer thread (if any).
+
+        The structure stays usable afterwards -- a later flush restarts
+        the writer lazily.
+        """
+        engine = self._engine
+        if engine is not None:
+            engine.close()
+
+    def clear_fault(self) -> None:
+        """Acknowledge a background-flush failure and resume."""
+        engine = self._engine
+        if engine is not None:
+            engine.clear_fault()
+
+    def _submit_plan(self, plan, records: int) -> None:
+        """Hand one flush plan to the engine (subclass flush helper).
+
+        Converts the drained record count into simulated fill seconds
+        (the ``stream_rate`` config knob), forwards to the engine, and
+        emits the ``flush_pipelined`` / ``io_coalesced`` trace events
+        plus the queue-depth/stall gauges on the ingest thread.
+        """
+        engine = self._engine
+        plan.records = records
+        rate = getattr(getattr(self, "config", None), "stream_rate", None)
+        fill = records / rate if rate else 0.0
+        summary = engine.submit(plan, fill_seconds=fill)
+        if engine.pipeline:
+            self._emit("flush_pipelined", records=records,
+                       queue_depth=engine.queue_depth)
+        if (summary["merged"] or summary["bridged_blocks"]
+                or summary["overhead_saved"]):
+            self._emit("io_coalesced", **summary)
+        if self._registry is not None:
+            labels = {"structure": self._obs_name}
+            self._registry.gauge("pipeline.queue_depth", **labels).set(
+                engine.queue_depth)
+            self._registry.gauge("pipeline.stall_seconds", **labels).set(
+                engine.stall_seconds)
+
     # -- observability ------------------------------------------------------
 
     def stats(self) -> ReservoirStats:
@@ -294,11 +364,17 @@ class StreamReservoir(abc.ABC):
         admissions, flushes, simulated clock, the backing device's
         cumulative I/O counters, and structure-specific extras.
         """
+        # Device counters are only coherent once in-flight background
+        # flushes land; the barrier is a no-op for synchronous engines.
+        self.flush_barrier()
         io = None
         device = getattr(self, "device", None)
         device_stats = getattr(device, "stats", None)
         if callable(device_stats):
             io = device_stats()
+        extra = self._stats_extra()
+        if self._engine is not None:
+            extra = {**extra, "pipeline": self._engine.stats()}
         return ReservoirStats(
             name=self.name,
             capacity=self.capacity,
@@ -307,7 +383,7 @@ class StreamReservoir(abc.ABC):
             flushes=int(getattr(self, "flushes", 0)),
             clock=self._clock(),
             io=io,
-            extra=self._stats_extra(),
+            extra=extra,
         )
 
     def _stats_extra(self) -> dict:
@@ -386,6 +462,7 @@ class StreamReservoir(abc.ABC):
 
     def offer(self, record: Record) -> None:
         """Present one stream record (record-level exact path)."""
+        self._check_engine()
         self._seen += 1
         if self._admits_current():
             self._samples_added += 1
@@ -409,6 +486,7 @@ class StreamReservoir(abc.ABC):
         Returns:
             The number of records admitted into the reservoir.
         """
+        self._check_engine()
         if not isinstance(records, (list, tuple)):
             records = list(records)
         n = len(records)
@@ -444,6 +522,7 @@ class StreamReservoir(abc.ABC):
         Returns:
             The number of records admitted into the reservoir.
         """
+        self._check_engine()
         n = len(batch)
         if n == 0:
             return 0
@@ -513,6 +592,7 @@ class StreamReservoir(abc.ABC):
 
     def ingest(self, n: int) -> None:
         """Present ``n`` stream records (count-only fast path)."""
+        self._check_engine()
         if n < 0:
             raise ValueError("cannot ingest a negative count")
         if n == 0:

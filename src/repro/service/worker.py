@@ -105,6 +105,9 @@ class ShardWorker:
             raise SimulatedCrash(f"shard {self.spec.shard_id} told to crash")
         if kind == "stop":
             replies = self._checkpoint()
+            # Joins the pipelined flush engine's writer thread (no-op
+            # for synchronous shards) so the process exits clean.
+            self.managed.sample.close()
             replies.append(("stopped", self.spec.shard_id, self.seq))
             return replies
         raise ValueError(f"unknown shard command {kind!r}")

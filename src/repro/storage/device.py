@@ -368,6 +368,17 @@ class SimulatedBlockDevice:
         self.model.read(block, n_blocks)
         return True
 
+    def charge_stream(self, n_blocks: int) -> None:
+        """Stream the head past ``n_blocks`` without transferring them.
+
+        Issued by the elevator I/O scheduler when two write bursts sit
+        close enough that staying on-track beats a random seek; see
+        :meth:`~repro.storage.disk_model.DiskModel.stream_past`.
+        Devices without a cost model simply lack this method and the
+        plan executor skips the charge.
+        """
+        self.model.stream_past(n_blocks)
+
     def sync(self) -> None:
         """No-op: the simulated device is always durable."""
 

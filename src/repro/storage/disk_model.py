@@ -280,6 +280,31 @@ class DiskModel:
             self._metrics.seek_seconds.inc(self.params.seek_time)
         self._head = None
 
+    def stream_past(self, n_blocks: int) -> float:
+        """Let ``n_blocks`` pass under the head without transferring them.
+
+        The elevator scheduler uses this to bridge small gaps between
+        merged write bursts: for gaps shorter than
+        ``seek_time / block_transfer_time`` blocks it is cheaper to keep
+        streaming at the sustained rate than to lift the head.  Only
+        transfer time is charged -- no seek, no read/write counts, no
+        ``sequential_blocks`` credit (nothing was transferred) -- and
+        the head advances past the gap so the next burst continues
+        sequentially.
+
+        Returns:
+            Simulated seconds spent streaming.
+        """
+        if n_blocks < 1:
+            raise ValueError("must stream past at least one block")
+        elapsed = n_blocks * self.params.block_transfer_time
+        self.stats.transfer_seconds += elapsed
+        if self._metrics is not None:
+            self._metrics.transfer_seconds.inc(elapsed)
+        if self._head is not None:
+            self._head += n_blocks
+        return elapsed
+
     def idle(self, seconds: float) -> None:
         """Advance the clock without disk activity (e.g. CPU time).
 

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import signal
+
 import pytest
 
 from repro.core.geometric_file import GeometricFile, GeometricFileConfig
@@ -65,3 +67,35 @@ def keyed_records(n: int) -> list[Record]:
 @pytest.fixture
 def records100() -> list[Record]:
     return keyed_records(100)
+
+
+#: Per-test ceiling for the threaded pipeline tests: a writer-thread
+#: deadlock must fail loudly, not hang the whole run.
+PIPELINE_TEST_TIMEOUT = 60
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_call(item):
+    """SIGALRM deadlock guard for ``-m pipeline`` tests.
+
+    CI layers pytest-timeout on top; this fallback keeps the guarantee
+    on machines without the plugin.  Main-thread-only (SIGALRM), which
+    is where pytest runs tests.
+    """
+    if (item.get_closest_marker("pipeline") is None
+            or not hasattr(signal, "SIGALRM")):
+        return (yield)
+
+    def _trip(signum, frame):
+        raise TimeoutError(
+            f"pipeline test exceeded {PIPELINE_TEST_TIMEOUT}s; likely a "
+            f"writer-thread deadlock (submit/barrier never returned)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _trip)
+    signal.alarm(PIPELINE_TEST_TIMEOUT)
+    try:
+        return (yield)
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)

@@ -71,7 +71,7 @@ def main():
         killed = False
         for start in range(0, STREAM_LENGTH, BATCH):
             batch = records[start:start + BATCH]
-            service.offer_many(batch)
+            service.offer_batch(batch)
             truth += sum(r.value for r in batch)
             offered += len(batch)
 

@@ -48,6 +48,7 @@ from .core import (
     GeometricFileConfig,
     MultiFileConfig,
     MultipleGeometricFiles,
+    Reservoir,
     ZoneMapIndex,
     load_geometric_file,
     save_geometric_file,
@@ -56,6 +57,14 @@ from .estimate import BatchQuery, SampleQuery, required_sample_size
 from .obs import MetricsRegistry, ReservoirStats, TraceEvent, TraceSink
 from .reservoir import StreamReservoir
 from .sampling import BiasedReservoir, ReservoirSample, SkipReservoir
+from .serve import (
+    AsyncServeClient,
+    InlineTransport,
+    ReservoirServer,
+    ServeClient,
+    ServeError,
+    ServerConfig,
+)
 from .service import ShardedReservoir
 from .storage import (
     DeviceSpec,
@@ -72,6 +81,7 @@ from .streams import SensorStream, UniformStream, ZipfStream
 __version__ = "1.0.0"
 
 __all__ = [
+    "AsyncServeClient",
     "BatchQuery",
     "BiasedGeometricFile",
     "BiasedMultipleGeometricFiles",
@@ -83,6 +93,7 @@ __all__ = [
     "FileBlockDevice",
     "GeometricFile",
     "GeometricFileConfig",
+    "InlineTransport",
     "LocalOverwriteReservoir",
     "MemoryBlockDevice",
     "MetricsRegistry",
@@ -90,11 +101,16 @@ __all__ = [
     "MultipleGeometricFiles",
     "Record",
     "RecordBatch",
+    "Reservoir",
     "ReservoirSample",
+    "ReservoirServer",
     "ReservoirStats",
     "SampleQuery",
     "ScanReservoir",
     "SensorStream",
+    "ServeClient",
+    "ServeError",
+    "ServerConfig",
     "ShardedReservoir",
     "SimulatedBlockDevice",
     "SkipReservoir",

@@ -149,14 +149,18 @@ class LocalOverwriteReservoir(BufferedDiskReservoir):
         lives = [cohort.live for cohort in self._cohorts]
         return draw_victim_counts(self._np_rng, lives, count)
 
-    def sample(self) -> list[Record]:
-        """Current reservoir contents plus pending buffered admissions."""
+    def sample(self, k: int | None = None, *, rng=None) -> list[Record]:
+        """Current reservoir contents plus pending buffered admissions;
+        ``k`` optionally thins to a uniform subset (protocol form)."""
         self.flush_barrier()
         if self.config.retain_records is False:
             raise TypeError("reservoir is running in count-only mode")
         if self.in_fill_phase:
-            return list(self._fill_records or []) + list(self.buffer)
+            full = list(self._fill_records or []) + list(self.buffer)
+            return self._thin_records(full, k, rng)
         disk: list[Record] = []
         for cohort in self._cohorts:
             disk.extend(cohort.records or ())
-        return self.apply_pending(disk, list(self.buffer), self._rng)
+        full = self.apply_pending(disk, list(self.buffer),
+                                  rng if rng is not None else self._rng)
+        return self._thin_records(full, k, rng)

@@ -89,12 +89,15 @@ class ScanReservoir(BufferedDiskReservoir):
         plan.read(0, self._file_blocks)
         plan.write(0, self._file_blocks)
 
-    def sample(self) -> list[Record]:
-        """Current reservoir contents plus pending buffered admissions."""
+    def sample(self, k: int | None = None, *, rng=None) -> list[Record]:
+        """Current reservoir contents plus pending buffered admissions;
+        ``k`` optionally thins to a uniform subset (protocol form)."""
         self.flush_barrier()
         if self._records is None and self._fill_records is None:
             raise TypeError("reservoir is running in count-only mode")
         if self._records is None:
-            return list(self._fill_records or []) + list(self.buffer)
-        return self.apply_pending(self._records, list(self.buffer),
-                                  self._rng)
+            full = list(self._fill_records or []) + list(self.buffer)
+            return self._thin_records(full, k, rng)
+        full = self.apply_pending(self._records, list(self.buffer),
+                                  rng if rng is not None else self._rng)
+        return self._thin_records(full, k, rng)

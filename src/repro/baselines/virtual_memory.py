@@ -164,11 +164,12 @@ class VirtualMemoryReservoir(BufferedDiskReservoir):
 
     # -- inspection -----------------------------------------------------------------
 
-    def sample(self) -> list[Record]:
-        """Current reservoir contents (record-retaining mode only)."""
+    def sample(self, k: int | None = None, *, rng=None) -> list[Record]:
+        """Current reservoir contents (record-retaining mode only);
+        ``k`` optionally thins to a uniform subset (protocol form)."""
         self.flush_barrier()
         if self._records is None:
             if self._fill_records is not None:
-                return list(self._fill_records)
+                return self._thin_records(list(self._fill_records), k, rng)
             raise TypeError("reservoir is running in count-only mode")
-        return list(self._records)
+        return self._thin_records(list(self._records), k, rng)

@@ -23,6 +23,7 @@ from .pipeline import (
 from .query import query_smoke, render_query_report
 from .report import ascii_chart, io_summary_table, throughput_table, to_csv
 from .runner import RunResult, SeriesPoint, run_until
+from .serve import render_serve_report, serve_smoke
 
 __all__ = [
     "ALTERNATIVE_NAMES",
@@ -40,11 +41,13 @@ __all__ = [
     "render_pipeline_report",
     "render_query_report",
     "render_report",
+    "render_serve_report",
     "render_shard_report",
-    "write_pipeline_report",
     "run_until",
+    "serve_smoke",
     "shard_smoke",
     "throughput_table",
     "to_csv",
+    "write_pipeline_report",
     "write_report",
 ]

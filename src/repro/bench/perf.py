@@ -181,7 +181,7 @@ def _run_sharded(spec: ExperimentSpec, shards: int, *, records: int,
             done = 0
             while done < records:
                 take = min(batch_size, records - done)
-                service.offer_many(batch if take == batch_size
+                service.offer_batch(batch if take == batch_size
                                    else [None] * take)
                 done += take
             stats = service.stats()  # drains every inbox: a barrier

@@ -1,0 +1,206 @@
+"""Serving-layer load benchmark: ``repro-bench --report serve``.
+
+Two phases against the same engine shape (an inline-pool
+:class:`~repro.service.ShardedReservoir` at the smoke configuration):
+
+* **inline** -- a :class:`~repro.serve.transport.InlineTransport`
+  session measures the pure protocol cost (encode + dispatch +
+  decode, no sockets): batch-ingest throughput in records/s and
+  query latency percentiles.
+* **tcp** -- an asyncio server with ``sessions`` concurrent
+  :class:`~repro.serve.AsyncServeClient` load generators, each
+  interleaving ``offer_batch`` / ``sample`` / ``stats`` requests.
+  The headline numbers are sustained requests/s across all sessions
+  and the P50/P99 request latency, which ``benchmarks/perf_smoke.py``
+  gates.
+
+Latencies are wall-clock (this benchmark measures the serving stack,
+not the simulated disk), so thresholds in the perf gate are set far
+below what any healthy host achieves.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import tempfile
+import time
+
+from ..storage.records import Record
+from .experiments import experiment_1
+
+#: Load-phase sizing: small enough for CI, large enough to amortise
+#: connection setup out of the percentiles.
+DEFAULT_SESSIONS = 4
+DEFAULT_REQUESTS = 80
+DEFAULT_BATCH = 256
+DEFAULT_SAMPLE_K = 64
+
+
+def _make_engine(root: str, seed: int):
+    from ..core.geometric_file import GeometricFileConfig
+    from ..service import ShardedReservoir
+
+    spec = experiment_1(scale=0, seed=seed)
+    config = GeometricFileConfig(
+        capacity=spec.capacity // 4,
+        buffer_capacity=spec.buffer_capacity // 4,
+        record_size=spec.record_size,
+        retain_records=True,
+        admission="uniform",
+    )
+    return ShardedReservoir(root, config, shards=4, pool="inline",
+                            partition="round-robin", seed=seed)
+
+
+def _records(n: int, start: int = 0) -> list[Record]:
+    return [Record(key=start + i, value=float(start + i), timestamp=0.0)
+            for i in range(n)]
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    """Nearest-rank percentile (no numpy needed for a report field)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _inline_phase(seed: int, *, batches: int, batch_size: int,
+                  queries: int, sample_k: int) -> dict:
+    from ..serve import ReservoirServer, ServeClient, ServerConfig
+
+    with tempfile.TemporaryDirectory(prefix="repro-serve-bench-") as root:
+        engine = _make_engine(root, seed)
+        server = ReservoirServer(engine, ServerConfig())
+        client = ServeClient.in_process(server)
+        try:
+            start = time.perf_counter()
+            for i in range(batches):
+                client.offer_batch(_records(batch_size, i * batch_size))
+            ingest_wall = time.perf_counter() - start
+            latencies: list[float] = []
+            for _ in range(queries):
+                t0 = time.perf_counter()
+                client.sample(sample_k)
+                latencies.append(time.perf_counter() - t0)
+            return {
+                "batches": batches,
+                "batch_size": batch_size,
+                "ingest_records_per_s": round(
+                    batches * batch_size / max(ingest_wall, 1e-9)),
+                "queries": queries,
+                "query_p50_ms": round(_percentile(latencies, 0.50) * 1e3, 3),
+                "query_p99_ms": round(_percentile(latencies, 0.99) * 1e3, 3),
+            }
+        finally:
+            client.close()
+            engine.close()
+
+
+async def _tcp_load(server, *, sessions: int, requests: int,
+                    batch_size: int, sample_k: int) -> dict:
+    from ..serve import AsyncServeClient
+
+    host, port = server.address
+    latencies: list[float] = []
+    retries = 0
+
+    async def one_session(session_index: int) -> None:
+        nonlocal retries
+        client = await AsyncServeClient.connect(host, port)
+        base = 10_000_000 * (session_index + 1)
+        try:
+            for i in range(requests):
+                t0 = time.perf_counter()
+                if i % 4 == 3:
+                    await client.sample(sample_k)
+                elif i % 16 == 9:
+                    await client.stats()
+                else:
+                    await client.offer_batch(
+                        _records(batch_size, base + i * batch_size))
+                latencies.append(time.perf_counter() - t0)
+            retries += client.retries
+        finally:
+            await client.close()
+
+    start = time.perf_counter()
+    await asyncio.gather(*(one_session(i) for i in range(sessions)))
+    elapsed = time.perf_counter() - start
+    total = sessions * requests
+    return {
+        "sessions": sessions,
+        "requests": total,
+        "elapsed_s": round(elapsed, 4),
+        "qps": round(total / max(elapsed, 1e-9)),
+        "p50_ms": round(_percentile(latencies, 0.50) * 1e3, 3),
+        "p99_ms": round(_percentile(latencies, 0.99) * 1e3, 3),
+        "retries": retries,
+    }
+
+
+def _tcp_phase(seed: int, *, sessions: int, requests: int,
+               batch_size: int, sample_k: int) -> dict:
+    from ..serve import ReservoirServer, ServerConfig
+
+    async def run() -> dict:
+        with tempfile.TemporaryDirectory(
+                prefix="repro-serve-bench-") as root:
+            engine = _make_engine(root, seed)
+            server = ReservoirServer(engine, ServerConfig())
+            await server.start()
+            try:
+                return await _tcp_load(server, sessions=sessions,
+                                       requests=requests,
+                                       batch_size=batch_size,
+                                       sample_k=sample_k)
+            finally:
+                await server.shutdown()
+                engine.close()
+
+    return asyncio.run(run())
+
+
+def serve_smoke(*, seed: int = 0, sessions: int = DEFAULT_SESSIONS,
+                requests: int = DEFAULT_REQUESTS,
+                batch_size: int = DEFAULT_BATCH,
+                sample_k: int = DEFAULT_SAMPLE_K) -> dict:
+    """Run both serving phases; returns the ``BENCH_serve.json`` dict."""
+    inline = _inline_phase(seed, batches=max(8, requests // 4),
+                           batch_size=batch_size,
+                           queries=max(32, requests // 2),
+                           sample_k=sample_k)
+    tcp = _tcp_phase(seed, sessions=sessions, requests=requests,
+                     batch_size=batch_size, sample_k=sample_k)
+    return {
+        "benchmark": "serving-layer load smoke",
+        "config": {
+            "seed": seed,
+            "sessions": sessions,
+            "requests_per_session": requests,
+            "batch_size": batch_size,
+            "sample_k": sample_k,
+            "engine": "sharded service (4 shards, inline pool)",
+        },
+        "inline": inline,
+        "tcp": tcp,
+    }
+
+
+def render_serve_report(report: dict) -> str:
+    """Human-readable table of the :func:`serve_smoke` report dict."""
+    config = report["config"]
+    inline, tcp = report["inline"], report["tcp"]
+    return "\n".join([
+        f"serving-layer load ({config['engine']})",
+        "",
+        f"  inline twin: {inline['ingest_records_per_s']:>10,} rec/s ingest"
+        f"   sample P50 {inline['query_p50_ms']:.2f} ms"
+        f"   P99 {inline['query_p99_ms']:.2f} ms",
+        f"  tcp ({tcp['sessions']} sessions): "
+        f"{tcp['qps']:>6,} req/s sustained"
+        f"   P50 {tcp['p50_ms']:.2f} ms   P99 {tcp['p99_ms']:.2f} ms",
+        f"  {tcp['requests']:,} requests in {tcp['elapsed_s']:.2f}s"
+        f"   retries after pushback: {tcp['retries']}",
+    ])

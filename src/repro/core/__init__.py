@@ -24,6 +24,7 @@ from .geometry import (
     startup_fill_sizes,
 )
 from .multi import MultiFileConfig, MultipleGeometricFiles
+from .protocols import Reservoir
 from .subsample import StackEvent, SubsampleLedger
 from .zonemap import ZoneMapIndex, ZoneMapStats
 
@@ -37,6 +38,7 @@ __all__ = [
     "ManagedSample",
     "MultiFileConfig",
     "MultipleGeometricFiles",
+    "Reservoir",
     "SampleBuffer",
     "SegmentLadder",
     "StackEvent",

@@ -251,7 +251,7 @@ class GeometricFile(StreamReservoir):
     def n_subsamples(self) -> int:
         return len(self.subsamples)
 
-    def sample(self, *, rng=None) -> list[Record]:
+    def sample(self, k: int | None = None, *, rng=None) -> list[Record]:
         """The current reservoir contents (record-retaining mode only).
 
         At flush boundaries this is exactly the disk-resident sample; in
@@ -260,12 +260,15 @@ class GeometricFile(StreamReservoir):
         sample at any instant.
 
         Args:
+            k: optionally thin to a uniform ``k``-subset (the
+                :class:`~repro.core.protocols.Reservoir` protocol
+                form); ``None`` returns the full reservoir.
             rng: optional ``random.Random`` used for the deferred-
-                eviction draw.  Queries that must not perturb the
-                structure's own RNG stream (checkpoint replay continues
-                bit-exactly only if ingestion alone consumes it -- the
-                sharded service's recovery contract) pass a dedicated
-                query RNG here.
+                eviction (and thinning) draw.  Queries that must not
+                perturb the structure's own RNG stream (checkpoint
+                replay continues bit-exactly only if ingestion alone
+                consumes it -- the sharded service's recovery contract)
+                pass a dedicated query RNG here.
         """
         self.flush_barrier()
         if not self.config.retain_records:
@@ -275,9 +278,10 @@ class GeometricFile(StreamReservoir):
             combined.extend(ledger.records or ())
         pending = list(self.buffer)
         if self.in_startup:
-            return combined + pending
-        return self.apply_pending(combined, pending,
+            return self._thin_records(combined + pending, k, rng)
+        full = self.apply_pending(combined, pending,
                                   rng if rng is not None else self._rng)
+        return self._thin_records(full, k, rng)
 
     def sample_batch(self, k: int | None = None, *, rng=None) -> RecordBatch:
         """The current reservoir as one :class:`RecordBatch` (columnar).
@@ -321,8 +325,14 @@ class GeometricFile(StreamReservoir):
 
     def check_invariants(self) -> None:
         """Assert every ledger's conservation law; used heavily by tests."""
+        held: dict[int, list[int]] = {}
         for ledger in self.subsamples:
             ledger.check_invariant()
+            level = ledger.current_level
+            for slot in ledger.slots:
+                held.setdefault(level, []).append(slot)
+                level += 1
+        self._layout.verify_slots(held)
         if not self.in_startup:
             if self.disk_size != self.capacity:
                 raise AssertionError(
@@ -465,7 +475,7 @@ class GeometricFile(StreamReservoir):
                 data = records[offset:offset + size].to_bytes()
             self._write_slot(level, slot, size, data, plan)
             offset += size
-        self.subsamples = [s for s in self.subsamples if not s.is_dead]
+        self._drop_dead_subsamples()
         self._submit_plan(plan, count)
         self.flushes += 1
         self._emit("flush", index=self.flushes, records=count,
@@ -480,6 +490,27 @@ class GeometricFile(StreamReservoir):
         ledger.stack_region = self._next_ident % self._layout.n_stack_regions
         self._next_ident += 1
         return ledger
+
+    def _drop_dead_subsamples(self) -> None:
+        """Drop fully-evicted ledgers, returning their slots to the pool.
+
+        A subsample can reach ``live == 0`` while still holding disk
+        segments (evictions are booked as ghost stack debt while the
+        cascade runs, Section 4.5); its remaining slots then never pass
+        through the flush hand-over, so they are reclaimed here.
+        Without this, small-segment configurations exhaust a level's
+        free list within a few dozen flushes.
+        """
+        survivors = []
+        for ledger in self.subsamples:
+            if not ledger.is_dead:
+                survivors.append(ledger)
+                continue
+            level = ledger.current_level
+            for slot in ledger.slots:
+                self._layout.release_slot(level, slot)
+                level += 1
+        self.subsamples = survivors
 
     def _evict_victims(self, count: int) -> None:
         """Algorithm 3: distribute ``count`` evictions over subsamples.
@@ -694,6 +725,40 @@ class FileLayout:
         if not free:
             raise AssertionError(f"level {level} has no free slots")
         return free.pop(0)
+
+    def release_slot(self, level: int, slot: int) -> None:
+        """Return a surrendered slot to the level's free list.
+
+        Called when a fully-evicted subsample is dropped while still
+        holding disk segments: eviction reached ``live == 0`` before
+        the segment cascade finished, so the remaining slots never go
+        through the flush hand-over and must rejoin the pool here or
+        the level eventually runs dry.
+        """
+        free = self._free_slots[level]
+        if slot in free:
+            raise AssertionError(
+                f"level {level} slot {slot} released twice")
+        free.append(slot)
+
+    def verify_slots(self, held: dict[int, list[int]]) -> None:
+        """Assert per-level slot conservation.
+
+        ``held`` maps level -> slot indices currently owned by live
+        subsamples (and, in the multi-file construction, the dummy);
+        together with the free list they must partition the level's
+        slot range exactly -- no slot lost, none owned twice.
+        """
+        for level in range(len(self.level_extents)):
+            combined = sorted(self._free_slots[level]
+                              + held.get(level, []))
+            expected = list(range(self._slots_for_level(level, self.dummy)))
+            if combined != expected:
+                raise AssertionError(
+                    f"level {level} slot accounting broken: "
+                    f"free={sorted(self._free_slots[level])} "
+                    f"held={sorted(held.get(level, []))} "
+                    f"expected {expected}")
 
     # -- charged I/O ----------------------------------------------------------
 

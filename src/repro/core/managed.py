@@ -88,26 +88,26 @@ class ManagedSample:
         self.checkpoint_meta: dict | None = None
         if self.restored:
             with open(self.path, "r", encoding="ascii") as source:
-                self.sample = load_geometric_file(
+                self.structure = load_geometric_file(
                     source, device_factory(), weight_fn=weight_fn
                 )
-            if not isinstance(self.sample, cls):
+            if not isinstance(self.structure, cls):
                 raise ValueError(
-                    f"checkpoint holds a {type(self.sample).__name__}, "
+                    f"checkpoint holds a {type(self.structure).__name__}, "
                     f"not the requested {cls.__name__}"
                 )
-            self.checkpoint_meta = self.sample.checkpoint_meta
+            self.checkpoint_meta = self.structure.checkpoint_meta
         elif config is None:
             raise ValueError(
                 f"no checkpoint at {self.path!r} and no config to "
                 "create a fresh structure from"
             )
         elif weight_fn is not None:
-            self.sample = cls(device_factory(), config, weight_fn,
+            self.structure = cls(device_factory(), config, weight_fn,
                               seed=seed)
         else:
-            self.sample = cls(device_factory(), config, seed=seed)
-        self._checkpointed_flushes = self.sample.flushes
+            self.structure = cls(device_factory(), config, seed=seed)
+        self._checkpointed_flushes = self.structure.flushes
 
     @classmethod
     def restore(
@@ -139,35 +139,51 @@ class ManagedSample:
 
     def offer(self, record: Record) -> None:
         """Present one stream record; checkpoints on schedule."""
-        self.sample.offer(record)
+        self.structure.offer(record)
         self._maybe_checkpoint()
 
     def offer_many(self, records) -> int:
         """Present a batch of records; checkpoints on schedule."""
-        admitted = self.sample.offer_many(records)
+        admitted = self.structure.offer_many(records)
         self._maybe_checkpoint()
         return admitted
 
     def offer_batch(self, batch) -> int:
-        """Present a :class:`~repro.storage.recordbatch.RecordBatch`.
+        """Present a batch (``RecordBatch`` or sequence of records).
 
         Explicit (rather than ``__getattr__``-delegated) so the
         checkpoint schedule sees columnar ingestion too.
         """
-        admitted = self.sample.offer_batch(batch)
+        admitted = self.structure.offer_batch(batch)
         self._maybe_checkpoint()
         return admitted
 
     def ingest(self, n: int) -> None:
         """Count-only ingestion (unbiased kinds only)."""
-        self.sample.ingest(n)
+        self.structure.ingest(n)
         self._maybe_checkpoint()
+
+    # -- queries ------------------------------------------------------------
+
+    def sample(self, k: int | None = None, *, rng=None):
+        """The wrapped structure's current sample (protocol form).
+
+        Before the serving-layer API unification ``managed.sample``
+        was the wrapped structure itself; it is now :attr:`structure`,
+        and ``sample()`` is the query every
+        :class:`~repro.core.protocols.Reservoir` answers.
+        """
+        return self.structure.sample(k, rng=rng)
+
+    def snapshot(self, k: int | None = None, *, rng=None):
+        """(:meth:`sample` result, stream position) in one call."""
+        return self.structure.snapshot(k, rng=rng)
 
     # -- durability -----------------------------------------------------------
 
     @property
     def flushes_since_checkpoint(self) -> int:
-        return self.sample.flushes - self._checkpointed_flushes
+        return self.structure.flushes - self._checkpointed_flushes
 
     def checkpoint(self, *, meta: dict | None = None) -> None:
         """Write the current state atomically (write + rename).
@@ -183,56 +199,69 @@ class ManagedSample:
         # queued flush to reach the device before snapshotting, so the
         # checkpoint never describes I/O the device has not absorbed
         # (and a parked writer fault surfaces here, not mid-save).
-        self.sample.flush_barrier()
+        self.structure.flush_barrier()
         directory = os.path.dirname(self.path) or "."
         descriptor, temp_path = tempfile.mkstemp(
             dir=directory, prefix=".checkpoint-", suffix=".json"
         )
         try:
             with os.fdopen(descriptor, "w", encoding="ascii") as sink:
-                save_geometric_file(self.sample, sink, meta=meta)
+                save_geometric_file(self.structure, sink, meta=meta)
             os.replace(temp_path, self.path)
         except BaseException:
             if os.path.exists(temp_path):
                 os.unlink(temp_path)
             raise
         self.checkpoint_meta = meta
-        self._checkpointed_flushes = self.sample.flushes
-        self.sample._emit("checkpoint", path=self.path,
-                          flushes=self.sample.flushes)
+        self._checkpointed_flushes = self.structure.flushes
+        self.structure._emit("checkpoint", path=self.path,
+                          flushes=self.structure.flushes)
 
     def _maybe_checkpoint(self) -> None:
         if (self.checkpoint_every
                 and self.flushes_since_checkpoint >= self.checkpoint_every):
             self.checkpoint()
 
+    def close(self) -> None:
+        """Checkpoint, then close the wrapped structure.
+
+        The managed wrapper's whole promise is durability, so its
+        ``close()`` is a graceful drain: the state that existed at the
+        call is on disk before any resource is released.  Callers who
+        explicitly do not want a goodbye checkpoint can close the
+        wrapped structure directly (``managed.structure.close()``).
+        """
+        self.checkpoint(meta=self.checkpoint_meta)
+        self.structure.close()
+
     # -- observability -----------------------------------------------------------
 
     def stats(self):
         """The underlying structure's :class:`~repro.obs.ReservoirStats`."""
-        return self.sample.stats()
+        return self.structure.stats()
 
     def instrument(self, registry, trace=None, *, name=None) -> None:
         """Instrument the underlying structure; see
         :meth:`repro.reservoir.StreamReservoir.instrument`."""
-        self.sample.instrument(registry, trace, name=name)
+        self.structure.instrument(registry, trace, name=name)
 
     # -- conveniences -----------------------------------------------------------
 
     def __getattr__(self, name: str):
-        # Delegate observers (sample(), disk_size, items(), ...) to the
-        # underlying structure.  "sample" itself must not recurse: when
-        # __init__ has not yet bound it, Python falls back here.
-        if name == "sample":
+        # Delegate observers (sample_batch(), disk_size, items(), ...)
+        # to the underlying structure.  "structure" itself must not
+        # recurse: when __init__ has not yet bound it, Python falls
+        # back here.
+        if name == "structure":
             raise AttributeError(
-                f"{type(self).__name__!r} object has no attribute 'sample' "
-                "(not yet initialised)"
+                f"{type(self).__name__!r} object has no attribute "
+                "'structure' (not yet initialised)"
             )
         try:
-            return getattr(self.sample, name)
+            return getattr(self.structure, name)
         except AttributeError:
             raise AttributeError(
                 f"{type(self).__name__!r} object has no attribute {name!r} "
                 f"(also absent on the wrapped "
-                f"{type(self.sample).__name__!r})"
+                f"{type(self.structure).__name__!r})"
             ) from None

@@ -216,7 +216,7 @@ class MultipleGeometricFiles(StreamReservoir):
         for file in self.files:
             yield from file.subsamples
 
-    def sample(self, *, rng=None) -> list[Record]:
+    def sample(self, k: int | None = None, *, rng=None) -> list[Record]:
         """Current reservoir contents; see
         :meth:`~repro.core.geometric_file.GeometricFile.sample`."""
         self.flush_barrier()
@@ -227,9 +227,10 @@ class MultipleGeometricFiles(StreamReservoir):
             combined.extend(ledger.records or ())
         pending = list(self.buffer)
         if self.in_startup:
-            return combined + pending
-        return self.apply_pending(combined, pending,
+            return self._thin_records(combined + pending, k, rng)
+        full = self.apply_pending(combined, pending,
                                   rng if rng is not None else self._rng)
+        return self._thin_records(full, k, rng)
 
     def sample_batch(self, k: int | None = None, *, rng=None) -> RecordBatch:
         """Current reservoir as one :class:`RecordBatch`; see
@@ -262,8 +263,17 @@ class MultipleGeometricFiles(StreamReservoir):
 
     def check_invariants(self) -> None:
         """Assert every ledger's conservation law and the global size."""
-        for ledger in self._all_ledgers():
-            ledger.check_invariant()
+        for file in self.files:
+            held: dict[int, list[int]] = {}
+            for level, slot in enumerate(file.dummy_slots):
+                held.setdefault(level, []).append(slot)
+            for ledger in file.subsamples:
+                ledger.check_invariant()
+                level = ledger.current_level
+                for slot in ledger.slots:
+                    held.setdefault(level, []).append(slot)
+                    level += 1
+            file.layout.verify_slots(held)
         if not self.in_startup and self.disk_size != self.capacity:
             raise AssertionError(
                 f"disk holds {self.disk_size}, expected {self.capacity}"
@@ -421,8 +431,19 @@ class MultipleGeometricFiles(StreamReservoir):
         # -- a zero-live ledger draws zero victims, so keeping it an
         # extra rotation is free and avoids an all-files sweep per
         # flush.  Both updates land before the submit so a pipelined
-        # writer fault cannot leave the file mid-rotation.
-        file.subsamples = [s for s in file.subsamples if not s.is_dead]
+        # writer fault cannot leave the file mid-rotation.  A dead
+        # ledger can still hold disk segments (eviction outran the
+        # cascade); its slots must rejoin the file's free lists.
+        survivors = []
+        for s in file.subsamples:
+            if not s.is_dead:
+                survivors.append(s)
+                continue
+            slot_level = s.current_level
+            for freed_slot in s.slots:
+                file.layout.release_slot(slot_level, freed_slot)
+                slot_level += 1
+        file.subsamples = survivors
         self._submit_plan(plan, count)
         self._emit("dummy_rotation", file=file.index,
                    donated=len(new_dummy),

@@ -39,6 +39,11 @@ EVENT_KINDS = (
     # background writer, and an elevator-coalesced I/O plan.
     "flush_pipelined",
     "io_coalesced",
+    # Serving layer (repro.serve): one request dispatched (carrying op,
+    # status, and latency), and a client throttled by its token bucket
+    # or the admission controller.
+    "serve_request",
+    "rate_limited",
 )
 
 

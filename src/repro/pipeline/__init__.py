@@ -15,12 +15,12 @@ from .scheduler import (
 )
 
 __all__ = [
+    "ElevatorScheduler",
+    "FifoScheduler",
     "FlushEngine",
     "FlushPlan",
     "PipelineWriteError",
-    "ElevatorScheduler",
-    "FifoScheduler",
     "SCHEDULER_NAMES",
-    "make_scheduler",
     "execute_ops",
+    "make_scheduler",
 ]

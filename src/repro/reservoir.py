@@ -509,19 +509,28 @@ class StreamReservoir(abc.ABC):
         return len(admitted)
 
     def offer_batch(self, batch) -> int:
-        """Present a :class:`~repro.storage.recordbatch.RecordBatch`.
+        """Present a batch of stream records (the protocol batch verb).
 
-        The columnar twin of :meth:`offer_many`: the admission mask is
-        the same single vectorised draw, but the admitted records stay
-        a column slab end to end -- they reach the structure through
-        :meth:`_admit_batch`, which columnar structures implement with
-        slice copies.  Structures without a columnar path decode once
-        and fall through to :meth:`_admit_many` (identical admission
-        law either way).
+        Accepts either a
+        :class:`~repro.storage.recordbatch.RecordBatch` or any plain
+        sequence of records -- the one batch entry point the unified
+        :class:`~repro.core.protocols.Reservoir` protocol names.  A
+        ``RecordBatch`` takes the columnar twin of :meth:`offer_many`:
+        the admission mask is the same single vectorised draw, but the
+        admitted records stay a column slab end to end -- they reach
+        the structure through :meth:`_admit_batch`, which columnar
+        structures implement with slice copies (structures without a
+        columnar path decode once and fall through to
+        :meth:`_admit_many`; identical admission law either way).  A
+        plain sequence routes to :meth:`offer_many` unchanged.
 
         Returns:
             The number of records admitted into the reservoir.
         """
+        from .storage.recordbatch import RecordBatch
+
+        if not isinstance(batch, RecordBatch):
+            return self.offer_many(batch)
         self._check_engine()
         n = len(batch)
         if n == 0:
@@ -546,6 +555,49 @@ class StreamReservoir(abc.ABC):
     def _admit_batch(self, batch) -> None:
         """Columnar admit hook; the default decodes to the object path."""
         self._admit_many(list(batch))
+
+    # -- protocol queries --------------------------------------------------
+
+    def snapshot(self, k: int | None = None, *, rng=None):
+        """(:meth:`sample` result, stream position) in one call.
+
+        The record-object twin of :meth:`snapshot_batch` and the
+        :class:`~repro.core.protocols.Reservoir` protocol's consistent
+        read: the returned ``seen`` count is the population size AQP
+        estimators scale the sample by.  Subclasses provide
+        ``sample()``; structures running count-only raise the same
+        ``TypeError`` their ``sample()`` does.
+        """
+        return self.sample(k, rng=rng), self._seen
+
+    def checkpoint(self) -> None:
+        """Make the current state durable (protocol durability verb).
+
+        For a bare structure durability means the backing device has
+        absorbed every admitted record: this is :meth:`flush_barrier`.
+        Wrappers that own persistent state override it with a real
+        checkpoint write (:class:`~repro.core.managed.ManagedSample`
+        saves its state file, the sharded service checkpoints every
+        shard); the contract is identical -- on return, the work
+        admitted before the call has reached its backing store.
+        """
+        self.flush_barrier()
+
+    def _thin_records(self, records, k: int | None, rng=None):
+        """Uniformly thin a record list to ``k`` (shared query helper).
+
+        ``rng`` is the optional ``random.Random`` query generator the
+        caller's ``sample()`` already threads through; ``None`` falls
+        back to the structure's own stream, matching
+        :meth:`apply_pending`'s convention.
+        """
+        if k is None:
+            return records
+        if k > len(records):
+            raise ValueError(
+                f"cannot draw {k} records from a sample of {len(records)}")
+        gen = rng if rng is not None else self._rng
+        return gen.sample(records, k)
 
     # -- columnar queries --------------------------------------------------
 

@@ -18,13 +18,13 @@ from .weights import (
 __all__ = [
     "BiasedReservoir",
     "RandomPairingReservoir",
-    "feed_stream",
     "ReservoirSample",
     "SkipReservoir",
     "WeightFunction",
     "ZSkipper",
     "clamped",
     "exponential_recency",
+    "feed_stream",
     "gaps_z",
     "linear_recency",
     "sample_without_replacement",

@@ -1,0 +1,72 @@
+"""Per-client token-bucket rate limiting.
+
+Each connected session owns one :class:`TokenBucket`: ``rate`` tokens
+refill per second up to a ``burst`` ceiling, and every request spends
+one token.  An empty bucket does not queue the request -- the server
+answers ``rate_limited`` with a ``retry_after`` telling the client
+exactly when a token will exist, which keeps the event loop free of
+per-client timers and pushes the waiting to the edge (the client SDK
+honours ``retry_after`` transparently).
+
+The clock is injectable so tests drive the bucket deterministically;
+production uses ``time.monotonic``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+
+class TokenBucket:
+    """A standard token bucket with continuous refill.
+
+    Args:
+        rate: tokens added per second; ``0`` disables limiting (every
+            acquire succeeds).
+        burst: bucket capacity -- the largest instantaneous spike
+            allowed.  Defaults to ``rate`` (one second of credit).
+        clock: monotonic time source, injectable for tests.
+    """
+
+    def __init__(self, rate: float, burst: float | None = None,
+                 *, clock: Callable[[], float] = time.monotonic) -> None:
+        if rate < 0:
+            raise ValueError("rate must be non-negative")
+        self.rate = rate
+        self.burst = float(burst if burst is not None else rate)
+        if rate > 0 and self.burst <= 0:
+            raise ValueError("burst must be positive when limiting")
+        self._clock = clock
+        self._tokens = self.burst
+        self._updated = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = now - self._updated
+        self._updated = now
+        if elapsed > 0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+
+    def try_acquire(self, tokens: float = 1.0) -> float:
+        """Spend ``tokens`` if available.
+
+        Returns ``0.0`` on success, else the seconds until the bucket
+        will hold enough tokens (the response's ``retry_after``);
+        nothing is spent on failure.
+        """
+        if self.rate <= 0:
+            return 0.0
+        if tokens <= 0:
+            raise ValueError("must acquire a positive number of tokens")
+        self._refill()
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return 0.0
+        return (tokens - self._tokens) / self.rate
+
+    @property
+    def tokens(self) -> float:
+        """Tokens currently available (refilled to now)."""
+        self._refill()
+        return self._tokens

@@ -16,7 +16,7 @@ Quick start::
                                  record_size=50, admission="uniform",
                                  retain_records=True)
     with ShardedReservoir("/var/lib/repro", config, shards=4) as svc:
-        svc.offer_many(batch)            # partitioned, backpressured
+        svc.offer_batch(batch)            # partitioned, backpressured
         merged = svc.sample(200)         # uniform over the union stream
         est = svc.estimate_sum(200)      # AQP with CLT error bars
         svc.kill_shard(2)                # chaos-test it

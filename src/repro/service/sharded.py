@@ -41,6 +41,7 @@ from ..estimate import (
     estimate_sum,
 )
 from ..obs import ReservoirStats, aggregate_stats, stats_from_dict
+from ..obs.deprecation import warn_deprecated
 from ..storage.device import DeviceSpec
 from ..storage.disk_model import DiskParameters
 from ..storage.recordbatch import RecordBatch
@@ -202,20 +203,25 @@ class ShardedReservoir:
     # -- ingestion ----------------------------------------------------------
 
     def offer(self, record: Record | None) -> None:
-        """Present one stream record (prefer :meth:`offer_many`)."""
-        self.offer_many([record])
+        """Present one stream record (prefer :meth:`offer_batch`)."""
+        self.offer_batch([record])
 
-    def offer_many(self, records: Sequence[Record | None]) -> int:
+    def offer_batch(self, records) -> int:
         """Partition one batch across the shards and enqueue it.
 
-        Returns the number of records enqueued.  Blocks while any
-        target shard's inbox is full (backpressure): the stream
-        producer slows to the speed of the slowest shard rather than
-        buffering unboundedly.
+        The canonical batch verb of the unified
+        :class:`~repro.core.protocols.Reservoir` protocol.  Accepts a
+        :class:`~repro.storage.recordbatch.RecordBatch` or any
+        sequence of records; returns the number of records enqueued.
+        Blocks while any target shard's inbox is full (backpressure):
+        the stream producer slows to the speed of the slowest shard
+        rather than buffering unboundedly.
         """
         if self._closed:
             raise RuntimeError("service is closed")
-        if not isinstance(records, (list, tuple)):
+        if isinstance(records, RecordBatch):
+            records = list(records)
+        elif not isinstance(records, (list, tuple)):
             records = list(records)
         parts = self._partitioner.split(records)
         for shard_id, part in enumerate(parts):
@@ -223,6 +229,11 @@ class ShardedReservoir:
                 self._post(shard_id, ("batch", None, part))
         self._offered += len(records)
         return len(records)
+
+    def offer_many(self, records: Sequence[Record | None]) -> int:
+        """Deprecated alias for :meth:`offer_batch`."""
+        warn_deprecated("ShardedReservoir.offer_many", "offer_batch")
+        return self.offer_batch(records)
 
     def ingest(self, n: int) -> None:
         """Count-only ingestion, split evenly across shards."""
@@ -237,7 +248,14 @@ class ShardedReservoir:
 
     # -- queries ------------------------------------------------------------
 
-    def sample(self, k: int) -> list[Record]:
+    def _resolve_k(self, k: int | None) -> int:
+        """Protocol default: ``k=None`` means one shard's capacity --
+        the largest merged draw that is always answerable (the
+        hypergeometric allocation can land the whole draw on one
+        shard, so no larger ``k`` is safe under every partition)."""
+        return self.config.capacity if k is None else k
+
+    def sample(self, k: int | None = None) -> list[Record]:
         """A uniform random ``k``-subset of the whole union stream.
 
         Snapshot semantics: the sample marker is enqueued behind every
@@ -249,30 +267,34 @@ class ShardedReservoir:
         ``k`` must not exceed any single shard's current reservoir
         size (the hypergeometric allocation can land up to ``k`` on
         one shard); with balanced partitions that means roughly
-        ``k <= capacity_per_shard``.
+        ``k <= capacity_per_shard`` -- which is also the ``k=None``
+        default.
         """
+        k = self._resolve_k(k)
         payloads = self._broadcast_query("sample", k)
         merged = merge_shard_samples(self._merge_rng, payloads, k)
         self._emit("merged_query", k=k,
                    seen=sum(p["seen"] for p in payloads))
         return merged
 
-    def snapshot(self, k: int) -> tuple[list[Record], int]:
+    def snapshot(self, k: int | None = None) -> tuple[list[Record], int]:
         """Like :meth:`sample`, also returning the union ``seen`` total
         (the population size AQP estimators scale by)."""
+        k = self._resolve_k(k)
         payloads = self._broadcast_query("sample", k)
         merged = merge_shard_samples(self._merge_rng, payloads, k)
         seen = sum(p["seen"] for p in payloads)
         self._emit("merged_query", k=k, seen=seen)
         return merged, seen
 
-    def sample_batch(self, k: int) -> RecordBatch:
+    def sample_batch(self, k: int | None = None) -> RecordBatch:
         """:meth:`sample` as one :class:`RecordBatch` (columnar merge).
 
         Same snapshot semantics and the same merge-RNG consumption as
         :meth:`sample`; shard replies are encoded once into the shared
         record dtype and merged without per-record Python work.
         """
+        k = self._resolve_k(k)
         payloads = self._broadcast_query("sample", k)
         merged = merge_shard_batches(self._merge_rng, payloads, k,
                                      self._schema)
@@ -280,8 +302,9 @@ class ShardedReservoir:
                    seen=sum(p["seen"] for p in payloads))
         return merged
 
-    def snapshot_batch(self, k: int) -> tuple[RecordBatch, int]:
+    def snapshot_batch(self, k: int | None = None) -> tuple[RecordBatch, int]:
         """Like :meth:`sample_batch`, also returning the union ``seen``."""
+        k = self._resolve_k(k)
         payloads = self._broadcast_query("sample", k)
         merged = merge_shard_batches(self._merge_rng, payloads, k,
                                      self._schema)
@@ -289,7 +312,7 @@ class ShardedReservoir:
         self._emit("merged_query", k=k, seen=seen)
         return merged, seen
 
-    def query_batch(self, k: int) -> BatchQuery:
+    def query_batch(self, k: int | None = None) -> BatchQuery:
         """A :class:`~repro.estimate.BatchQuery` over a fresh merged
         ``k``-sample, scaled by the union ``seen`` count -- columnar
         AQP (filter / avg / sum / count) in a handful of array

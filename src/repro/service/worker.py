@@ -97,7 +97,7 @@ class ShardWorker:
             _, token = message
             payload = {"stats": self.managed.stats().as_dict(),
                        "seq": self.seq,
-                       "disk_size": self.managed.sample.disk_size}
+                       "disk_size": self.managed.structure.disk_size}
             return [("stats", self.spec.shard_id, token, payload)]
         if kind == "checkpoint":
             return self._checkpoint()
@@ -107,7 +107,7 @@ class ShardWorker:
             replies = self._checkpoint()
             # Joins the pipelined flush engine's writer thread (no-op
             # for synchronous shards) so the process exits clean.
-            self.managed.sample.close()
+            self.managed.structure.close()
             replies.append(("stopped", self.spec.shard_id, self.seq))
             return replies
         raise ValueError(f"unknown shard command {kind!r}")
@@ -142,7 +142,7 @@ class ShardWorker:
         """
         if k < 0:
             raise ValueError("sample size must be non-negative")
-        records = self.managed.sample.sample(rng=self._query_py_rng)
+        records = self.managed.sample(rng=self._query_py_rng)
         size = len(records)
         stats = self.managed.stats()
         take = min(k, size)

@@ -34,8 +34,8 @@ __all__ = [
     "ExtentAllocator",
     "FileBlockDevice",
     "LRUBufferPool",
-    "MemoryBlockDevice",
     "MIN_RECORD_SIZE",
+    "MemoryBlockDevice",
     "Record",
     "RecordBatch",
     "RecordSchema",
@@ -46,4 +46,4 @@ __all__ = [
 from .striping import StripedBlockDevice  # noqa: E402
 from .varrecords import VariableRecordCodec  # noqa: E402
 
-__all__.extend(["StripedBlockDevice", "VariableRecordCodec"])
+__all__ = sorted(__all__ + ["StripedBlockDevice", "VariableRecordCodec"])

@@ -102,3 +102,28 @@ class TestParser:
     def test_negative_scale_rejected(self):
         with pytest.raises(ValueError):
             main(["fig7a", "--scale", "-1"])
+
+    def test_report_flag_is_repeatable(self):
+        parser = build_parser()
+        args = parser.parse_args(["--report", "ingest",
+                                  "--report", "query=q.json"])
+        assert args.reports == ["ingest", "query=q.json"]
+
+    def test_serve_is_a_valid_experiment_choice(self):
+        parser = build_parser()
+        assert parser.parse_args(["serve"]).experiment == "serve"
+
+    def test_deprecated_flags_are_hidden_from_help(self):
+        text = build_parser().format_help()
+        assert "--report" in text
+        for legacy in ("--perf-smoke", "--query-report", "--pipeline",
+                       "--shard-report"):
+            assert legacy not in text, legacy
+
+    def test_unknown_report_kind_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--report", "turbo"])
+
+    def test_experiment_required_without_reports(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -549,11 +549,11 @@ class TestManagedColumnar:
         for start in range(0, 900, 90):
             managed.offer_batch(batch[start:start + 90])
         assert path.exists()
-        assert managed.sample.flushes > 0
+        assert managed.flushes > 0
         reopened = ManagedSample.restore(path, device_factory)
-        assert reopened.sample.columnar
-        assert sorted_sample_keys(reopened.sample) == \
-            sorted_sample_keys(managed.sample)
+        assert reopened.columnar
+        assert sorted_sample_keys(reopened.structure) == \
+            sorted_sample_keys(managed.structure)
 
 
 # -- sharded service ---------------------------------------------------------
@@ -573,7 +573,7 @@ class TestShardedBatchQueries:
         records = value_records(4000, seed=1)
         with ShardedReservoir(tmp_path, self._config(), shards=4,
                               pool="inline", seed=0) as service:
-            service.offer_many(records)
+            service.offer_batch(records)
             batch, seen = service.snapshot_batch(150)
             assert seen == 4000
             assert len(batch) == 150
@@ -592,7 +592,7 @@ class TestShardedBatchQueries:
         records = keyed_records(3000)
         with ShardedReservoir(tmp_path, self._config(), shards=4,
                               pool="inline", seed=7) as service:
-            service.offer_many(records)
+            service.offer_batch(records)
             scalar_keys = sorted(r.key for r in service.sample(120))
             batch_keys = sorted(
                 service.sample_batch(120).keys.tolist())

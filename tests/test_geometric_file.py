@@ -5,7 +5,12 @@ import math
 
 import pytest
 
-from conftest import TEST_BLOCK, make_geometric_file, small_disk_params
+from conftest import (
+    TEST_BLOCK,
+    make_geometric_file,
+    make_multi_file,
+    small_disk_params,
+)
 from repro.core.geometric_file import GeometricFile, GeometricFileConfig
 from repro.storage.device import SimulatedBlockDevice
 from repro.storage.records import Record
@@ -342,3 +347,41 @@ class TestStartupIO:
         # far fewer than flushes * segments.
         assert stats.seeks <= gf.flushes + 2
         assert stats.blocks_read == 0
+
+
+class TestSlotReclamation:
+    """Dead subsamples must hand their slots back (regression).
+
+    With one-record segments a subsample is often fully evicted while
+    it still holds disk segments; before the fix those slots leaked
+    out of the free lists and deep levels ran dry within ~100 records
+    ("level L has no free slots").
+    """
+
+    def test_tiny_segments_survive_long_streams(self):
+        gf = make_geometric_file(capacity=39, buffer_capacity=13,
+                                 beta_records=1, admission="always",
+                                 seed=4089)
+        for i in range(3000):
+            gf.offer(Record(key=i))
+        gf.check_invariants()
+        assert len(gf.sample()) == 39
+
+    def test_slot_conservation_holds_throughout(self):
+        gf = make_geometric_file(capacity=60, buffer_capacity=12,
+                                 beta_records=1, admission="always",
+                                 seed=7)
+        for i in range(1500):
+            gf.offer(Record(key=i))
+            if i % 97 == 0:
+                gf.check_invariants()  # includes per-level slot audit
+        gf.check_invariants()
+
+    def test_multi_file_tiny_segments_survive(self):
+        mf = make_multi_file(capacity=60, buffer_capacity=12,
+                             beta_records=1, admission="always",
+                             alpha_prime=0.5, seed=11)
+        for i in range(1500):
+            mf.offer(Record(key=i))
+        mf.check_invariants()
+        assert len(mf.sample()) == 60

@@ -62,8 +62,8 @@ class TestLifecycle:
         assert resumed.restored
         feed(ms, 600, start=1200)
         feed(resumed, 600, start=1200)
-        keys_a = sorted(r.key for r in ms.sample.sample())
-        keys_b = sorted(r.key for r in resumed.sample.sample())
+        keys_a = sorted(r.key for r in ms.sample())
+        keys_b = sorted(r.key for r in resumed.sample())
         assert keys_a == keys_b
 
     def test_crash_loses_at_most_the_tail(self, tmp_path):
@@ -244,16 +244,16 @@ class TestRestoreParity:
         restored = ManagedSample.restore(path, factory_for(cfg),
                                          checkpoint_every=0)
         # The restored RNGs start exactly where the live ones stand...
-        assert (restored.sample._np_rng.bit_generator.state
-                == live.sample._np_rng.bit_generator.state)
-        assert restored.sample._rng.getstate() == live.sample._rng.getstate()
+        assert (restored.structure._np_rng.bit_generator.state
+                == live.structure._np_rng.bit_generator.state)
+        assert restored.structure._rng.getstate() == live.structure._rng.getstate()
         # ...and stay in lockstep through several more flush boundaries
         # of the identical continuation.
         feed(live, 3 * cfg.buffer_capacity, start=700)
         feed(restored, 3 * cfg.buffer_capacity, start=700)
-        assert (restored.sample._np_rng.bit_generator.state
-                == live.sample._np_rng.bit_generator.state)
-        assert restored.sample._rng.getstate() == live.sample._rng.getstate()
+        assert (restored.structure._np_rng.bit_generator.state
+                == live.structure._np_rng.bit_generator.state)
+        assert restored.structure._rng.getstate() == live.structure._rng.getstate()
         stats_live, stats_restored = live.stats(), restored.stats()
         assert stats_restored.seen == stats_live.seen
         assert stats_restored.samples_added == stats_live.samples_added
@@ -262,7 +262,7 @@ class TestRestoreParity:
         # materialisation below uses equal private RNGs so it cannot
         # perturb the comparison (or the structures' own streams).
         keys_live = [r.key for r in
-                     live.sample.sample(rng=random.Random(99))]
+                     live.sample(rng=random.Random(99))]
         keys_restored = [r.key for r in
-                         restored.sample.sample(rng=random.Random(99))]
+                         restored.sample(rng=random.Random(99))]
         assert keys_live == keys_restored

@@ -439,11 +439,11 @@ class TestManagedPipelined:
             for record in keyed_records(2000)[1500:]:
                 managed.offer(record)
                 restored.offer(record)
-            a = sorted(r.key for r in managed.sample.sample())
-            b = sorted(r.key for r in restored.sample.sample())
+            a = sorted(r.key for r in managed.sample())
+            b = sorted(r.key for r in restored.sample())
             assert a == b
-            managed.sample.close()
-            restored.sample.close()
+            managed.structure.close()
+            restored.structure.close()
             return a
 
         assert run(False, "sync") == run(True, "piped")
@@ -465,7 +465,7 @@ class TestShardedPipelined:
                                   seed=3) as service:
                 records = keyed_records(2000)
                 for start in range(0, len(records), 250):
-                    service.offer_many(records[start:start + 250])
+                    service.offer_batch(records[start:start + 250])
                 sample = sorted(r.key for r in service.sample(200))
                 seen = service.stats().seen
             return sample, seen

@@ -1,0 +1,210 @@
+"""Conformance tests for the unified ``Reservoir`` protocol.
+
+Every maintained implementation -- the disk-backed structures, the
+Section 3 baselines, the managed wrapper, the sharded service, and the
+served client -- satisfies the one structural protocol in
+:mod:`repro.core.protocols`, and the shared semantics (``sample(k)``
+thinning, ``snapshot`` = sample + seen, ``offer_batch`` polymorphism)
+hold across all of them.
+"""
+
+import pytest
+
+from conftest import TEST_BLOCK, small_disk_params
+from repro.baselines import (
+    DiskReservoirConfig,
+    LocalOverwriteReservoir,
+    ScanReservoir,
+    VirtualMemoryReservoir,
+)
+from repro.bench.experiments import experiment_1
+from repro.core import (
+    GeometricFile,
+    GeometricFileConfig,
+    MultiFileConfig,
+    MultipleGeometricFiles,
+    Reservoir,
+)
+from repro.core.managed import ManagedSample
+from repro.serve import ReservoirServer, ServeClient
+from repro.service import ShardedReservoir
+from repro.storage import Record, RecordBatch, SimulatedBlockDevice
+from repro.storage.records import RecordSchema
+
+RECORD_SIZE = 40
+
+
+def keyed_records(n, start=0):
+    return [Record(key=start + i, value=float(start + i), timestamp=0.0)
+            for i in range(n)]
+
+
+def make_baseline(cls, **overrides):
+    settings = dict(capacity=200, buffer_capacity=20,
+                    record_size=RECORD_SIZE, pool_blocks=4,
+                    retain_records=True, admission="uniform")
+    settings.update(overrides)
+    config = DiskReservoirConfig(**settings)
+    blocks = cls.required_blocks(config, TEST_BLOCK)
+    device = SimulatedBlockDevice(blocks, small_disk_params())
+    return cls(device, config, seed=0)
+
+
+def make_geometric():
+    config = GeometricFileConfig(capacity=200, buffer_capacity=20,
+                                 record_size=RECORD_SIZE, beta_records=4,
+                                 retain_records=True, admission="uniform")
+    blocks = GeometricFile.required_blocks(config, TEST_BLOCK)
+    device = SimulatedBlockDevice(blocks, small_disk_params())
+    return GeometricFile(device, config, seed=0)
+
+
+def make_multi():
+    config = MultiFileConfig(capacity=200, buffer_capacity=20,
+                             record_size=RECORD_SIZE, beta_records=4,
+                             retain_records=True, admission="uniform")
+    blocks = MultipleGeometricFiles.required_blocks(config, TEST_BLOCK)
+    device = SimulatedBlockDevice(blocks, small_disk_params())
+    return MultipleGeometricFiles(device, config, seed=0)
+
+
+MAKERS = {
+    "virtual mem": lambda: make_baseline(VirtualMemoryReservoir),
+    "scan": lambda: make_baseline(ScanReservoir),
+    "local overwrite": lambda: make_baseline(LocalOverwriteReservoir),
+    "geo file": make_geometric,
+    "multiple geo files": make_multi,
+}
+
+
+def make_service(root, *, seed=0):
+    config = GeometricFileConfig(capacity=100, buffer_capacity=10,
+                                 record_size=32, beta_records=4,
+                                 retain_records=True, admission="uniform")
+    return ShardedReservoir(root, config, shards=2, pool="inline",
+                            seed=seed)
+
+
+def make_managed(tmp_path):
+    config = GeometricFileConfig(capacity=400, buffer_capacity=40,
+                                 record_size=RECORD_SIZE, beta_records=4,
+                                 retain_records=True)
+    blocks = GeometricFile.required_blocks(config, TEST_BLOCK)
+    factory = lambda: SimulatedBlockDevice(blocks, small_disk_params())
+    return ManagedSample(tmp_path / "managed.json", factory, config,
+                         checkpoint_every=10)
+
+
+class TestStructuralConformance:
+    def test_every_alternative_satisfies_the_protocol(self):
+        spec = experiment_1(scale=0)
+        for name in MAKERS:
+            structure = spec.make(name)
+            assert isinstance(structure, Reservoir), name
+            structure.close()
+
+    def test_managed_sample_satisfies_the_protocol(self, tmp_path):
+        managed = make_managed(tmp_path)
+        assert isinstance(managed, Reservoir)
+        managed.close()
+
+    def test_sharded_service_satisfies_the_protocol(self, tmp_path):
+        with make_service(tmp_path / "svc") as service:
+            assert isinstance(service, Reservoir)
+
+    def test_served_client_satisfies_the_protocol(self, tmp_path):
+        with make_service(tmp_path / "svc") as service:
+            client = ServeClient.in_process(ReservoirServer(service))
+            assert isinstance(client, Reservoir)
+            client.close()
+
+    def test_protocol_rejects_non_reservoirs(self):
+        assert not isinstance(object(), Reservoir)
+        assert not isinstance({"offer": None}, Reservoir)
+
+
+class TestSharedSemantics:
+    """The protocol's behavioural contract, checked implementation by
+    implementation (isinstance only proves method presence)."""
+
+    @pytest.mark.parametrize("name", sorted(MAKERS))
+    def test_sample_default_and_thinned(self, name):
+        structure = MAKERS[name]()
+        try:
+            structure.offer_batch(keyed_records(500))
+            full = structure.sample()
+            assert len(full) > 40
+            thin = structure.sample(40)
+            assert len(thin) == 40
+            assert {r.key for r in thin} <= set(range(500))
+            with pytest.raises(ValueError):
+                structure.sample(len(full) + 10_000)
+        finally:
+            structure.close()
+
+    @pytest.mark.parametrize("name", sorted(MAKERS))
+    def test_snapshot_is_sample_plus_seen(self, name):
+        structure = MAKERS[name]()
+        try:
+            structure.offer_batch(keyed_records(300))
+            records, seen = structure.snapshot(20)
+            assert seen == 300
+            assert len(records) == 20
+        finally:
+            structure.close()
+
+    @pytest.mark.parametrize("name", sorted(MAKERS))
+    def test_offer_batch_accepts_recordbatch(self, name):
+        structure = MAKERS[name]()
+        try:
+            schema = RecordSchema(RECORD_SIZE)
+            batch = RecordBatch.from_records(schema, keyed_records(150))
+            admitted = structure.offer_batch(batch)
+            assert admitted == 150
+            _, seen = structure.snapshot(10)
+            assert seen == 150
+        finally:
+            structure.close()
+
+    def test_service_semantics(self, tmp_path):
+        with make_service(tmp_path / "svc") as service:
+            schema = RecordSchema(32)
+            service.offer_batch(keyed_records(200))
+            service.offer_batch(
+                RecordBatch.from_records(schema,
+                                         keyed_records(200, start=500)))
+            records, seen = service.snapshot(30)
+            assert seen == 400
+            assert len(records) == 30
+            assert len(service.sample(30)) == 30
+            service.checkpoint()
+
+    def test_served_client_semantics(self, tmp_path):
+        with make_service(tmp_path / "svc") as service:
+            client = ServeClient.in_process(ReservoirServer(service))
+            try:
+                schema = RecordSchema(32)
+                client.offer(Record(key=1, value=1.0, timestamp=0.0))
+                client.offer_batch(keyed_records(199, start=10))
+                client.offer_batch(
+                    RecordBatch.from_records(schema,
+                                             keyed_records(200, start=500)))
+                records, seen = client.snapshot(30)
+                assert seen == 400
+                assert len(records) == 30
+                batch = client.sample_batch(25)
+                assert len(batch) == 25
+                assert batch.schema.record_size == 32
+                client.checkpoint()
+                assert client.stats().seen == 400
+            finally:
+                client.close()
+
+    def test_managed_semantics(self, tmp_path):
+        managed = make_managed(tmp_path)
+        managed.offer_batch(keyed_records(500))
+        records, seen = managed.snapshot(15)
+        assert seen == 500
+        assert len(records) == 15
+        assert len(managed.sample(15)) == 15
+        managed.close()

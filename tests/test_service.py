@@ -145,7 +145,7 @@ class TestRoundTrip:
         with make_service(tmp_path / "svc") as service:
             records = keyed_records(1200)
             for start in range(0, 1200, 100):
-                service.offer_many(records[start:start + 100])
+                service.offer_batch(records[start:start + 100])
             stats = service.stats()
             assert stats.seen == 1200
             assert stats.extra["shards"] == 4
@@ -156,7 +156,7 @@ class TestRoundTrip:
         records = keyed_records(900)
         expected = [len(p) for p in HashPartitioner(4).split(records)]
         with make_service(tmp_path / "svc") as service:
-            service.offer_many(records)
+            service.offer_batch(records)
             assert [s.seen for s in service.shard_stats()] == expected
 
     def test_count_only_ingest(self, tmp_path):
@@ -167,7 +167,7 @@ class TestRoundTrip:
 
     def test_sample_has_k_distinct_offered_keys(self, tmp_path):
         with make_service(tmp_path / "svc") as service:
-            service.offer_many(keyed_records(600))
+            service.offer_batch(keyed_records(600))
             sample = service.sample(64)
             keys = [r.key for r in sample]
             assert len(keys) == 64
@@ -180,7 +180,7 @@ class TestRoundTrip:
         service.close()
         service.close()  # idempotent
         with pytest.raises(RuntimeError):
-            service.offer_many(keyed_records(2))
+            service.offer_batch(keyed_records(2))
         with pytest.raises(RuntimeError):
             service.stats()
 
@@ -211,7 +211,7 @@ class TestMergedUniformity:
         trials, k, n = 200, 60, 600
         counts = collections.Counter()
         with make_service(tmp_path / "svc", seed=11) as service:
-            service.offer_many(keyed_records(n))
+            service.offer_batch(keyed_records(n))
             for _ in range(trials):
                 for record in service.sample(k):
                     counts[record.key] += 1
@@ -238,13 +238,13 @@ class TestMergedUniformity:
             config = service_config(capacity=40, buffer_capacity=8)
             with make_service(tmp_path / f"s4-{trial}", seed=trial,
                               config=config) as service:
-                service.offer_many(records)
+                service.offer_batch(records)
                 for record in service.sample(k):
                     sharded_counts[record.key] += 1
             config = service_config(capacity=160, buffer_capacity=32)
             with make_service(tmp_path / f"s1-{trial}", shards=1,
                               seed=trial, config=config) as service:
-                service.offer_many(records)
+                service.offer_batch(records)
                 for record in service.sample(k):
                     single_counts[record.key] += 1
         expected = {key: trials * k / n for key in range(n)}
@@ -265,7 +265,7 @@ class TestEstimates:
         config = service_config(capacity=100, buffer_capacity=10)
         with make_service(tmp_path / "svc", seed=3,
                           config=config) as service:
-            service.offer_many(keyed_records(n))
+            service.offer_batch(keyed_records(n))
             estimate = service.estimate_sum(80)
             truth = float(sum(range(n)))
             assert estimate.interval(0.99).contains(truth)
@@ -276,7 +276,7 @@ class TestEstimates:
         config = service_config(capacity=100, buffer_capacity=10)
         with make_service(tmp_path / "svc", seed=5,
                           config=config) as service:
-            service.offer_many(keyed_records(n))
+            service.offer_batch(keyed_records(n))
             count = service.estimate_count(80, lambda r: r.key < 400)
             assert count.interval(0.99).contains(400)
             avg = service.estimate_avg(80, value=lambda r: r.value)
@@ -292,7 +292,7 @@ class TestRecovery:
                           checkpoint_batches=4) as service:
             records = keyed_records(400)
             for start in range(0, 400, 40):
-                service.offer_many(records[start:start + 40])
+                service.offer_batch(records[start:start + 40])
             # Auto-checkpoints every 4 batches bound the journal.
             assert service.journal_depth <= 4 * service.shards
             service.checkpoint()
@@ -320,7 +320,7 @@ class TestRecovery:
                     service.kill_shard(1)
                 if i == 20:
                     service.kill_shard(3, hard=True)
-                service.offer_many(batch)
+                service.offer_batch(batch)
             stats = service.stats()
             assert stats.seen == 1200  # no loss, no double count
             assert [s.seen for s in service.shard_stats()] == [
@@ -336,14 +336,14 @@ class TestRecovery:
         for spec, part in zip(specs, expected_parts):
             managed = spec.restore()
             assert managed.stats().seen == len(part)
-            keys = [r.key for r in managed.sample.sample()]
+            keys = [r.key for r in managed.sample()]
             assert len(keys) == len(set(keys))
             assert set(keys) <= {r.key for r in part}
             assert len(keys) == min(len(part), config.capacity)
 
     def test_query_after_crash_recovers_first(self, tmp_path):
         with make_service(tmp_path / "svc") as service:
-            service.offer_many(keyed_records(600))
+            service.offer_batch(keyed_records(600))
             service.kill_shard(2)
             assert service.stats().seen == 600
             assert service.recoveries == 1
@@ -351,7 +351,7 @@ class TestRecovery:
 
     def test_explicit_recover(self, tmp_path):
         with make_service(tmp_path / "svc") as service:
-            service.offer_many(keyed_records(200))
+            service.offer_batch(keyed_records(200))
             service.kill_shard(0, hard=True)
             service.kill_shard(1)
             assert service.recover() == 2
@@ -361,11 +361,11 @@ class TestRecovery:
     def test_reopen_from_root_restores_every_shard(self, tmp_path):
         root = tmp_path / "svc"
         with make_service(root, seed=9) as service:
-            service.offer_many(keyed_records(500))
+            service.offer_batch(keyed_records(500))
             before = [s.seen for s in service.shard_stats()]
         with make_service(root, seed=9) as service:
             assert [s.seen for s in service.shard_stats()] == before
-            service.offer_many(keyed_records(100))
+            service.offer_batch(keyed_records(100))
             assert service.stats().seen == 600
 
     def test_kill_bad_shard_id(self, tmp_path):
@@ -380,7 +380,7 @@ class TestRecovery:
 class TestAggregation:
     def test_stats_from_dict_round_trip(self, tmp_path):
         with make_service(tmp_path / "svc") as service:
-            service.offer_many(keyed_records(300))
+            service.offer_batch(keyed_records(300))
             snapshot = service.shard_stats()[0]
         rebuilt = stats_from_dict(snapshot.as_dict())
         assert rebuilt.seen == snapshot.seen
@@ -389,7 +389,7 @@ class TestAggregation:
 
     def test_aggregate_clock_is_slowest_shard(self, tmp_path):
         with make_service(tmp_path / "svc") as service:
-            service.offer_many(keyed_records(900))
+            service.offer_batch(keyed_records(900))
             shard_stats = service.shard_stats()
             total = service.stats()
         assert total.seen == sum(s.seen for s in shard_stats)

@@ -36,7 +36,7 @@ def test_round_trip_across_processes(tmp_path):
     with make_process_service(tmp_path / "svc") as service:
         records = keyed_records(900)
         for start in range(0, 900, 150):
-            service.offer_many(records[start:start + 150])
+            service.offer_batch(records[start:start + 150])
         stats = service.stats()
         assert stats.seen == 900
         assert sum(stats.extra["seen_per_shard"]) == 900
@@ -56,7 +56,7 @@ def test_hard_kill_recovers_without_loss(tmp_path):
         for i, batch in enumerate(batches):
             if i == 6:
                 service.kill_shard(1, hard=True)  # SIGKILL mid-stream
-            service.offer_many(batch)
+            service.offer_batch(batch)
         assert service.stats().seen == 1200
         assert service.recoveries >= 1
         assert service.last_recovery_seconds < 60.0
@@ -66,11 +66,11 @@ def test_hard_kill_recovers_without_loss(tmp_path):
 def test_graceful_close_then_reopen(tmp_path):
     root = tmp_path / "svc"
     with make_process_service(root, seed=4) as service:
-        service.offer_many(keyed_records(600))
+        service.offer_batch(keyed_records(600))
         before = [s.seen for s in service.shard_stats()]
     with make_process_service(root, seed=4) as service:
         assert [s.seen for s in service.shard_stats()] == before
-        service.offer_many(keyed_records(150))
+        service.offer_batch(keyed_records(150))
         assert service.stats().seen == 750
 
 
@@ -80,7 +80,7 @@ def test_backpressure_bounded_queue(tmp_path):
                               queue_depth=1) as service:
         records = keyed_records(2000)
         for start in range(0, 2000, 50):
-            service.offer_many(records[start:start + 50])
+            service.offer_batch(records[start:start + 50])
         assert service.stats().seen == 2000
     # Not asserted > 0: a fast consumer can legally keep up, but the
     # counter must at least exist and never go negative.

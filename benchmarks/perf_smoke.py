@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.bench.aqp import aqp_smoke, render_aqp_report
 from repro.bench.perf import (
     perf_smoke,
     render_report,
@@ -139,10 +140,14 @@ def test_serving_layer_sustained_load():
     nature (it measures the serving stack: framing, dispatch, the
     engine executor, asyncio scheduling), so the thresholds sit far
     below any healthy host's numbers (measured on the reference box:
-    ~60 req/s sustained across 4 sessions with P99 ~0.35 s, driven by
-    offer_batch cost; inline twin ~100k rec/s ingest, sample P99
-    ~1 ms -- see BENCH_serve.json).  A trip here means requests are
+    ~70 req/s sustained across 4 sessions with P99 ~0.3 s, driven by
+    offer_batch cost; inline twin ~75k rec/s ingest, sample P99
+    ~2 ms -- see BENCH_serve.json).  A trip here means requests are
     queueing behind a serialized or blocked event loop, not noise.
+    Every session now runs one untimed warm-up round (handshake, first
+    offer, first sample) before the timed loop, so the percentiles
+    carry no first-touch spikes and the P99 bound can sit much closer
+    to steady state.
     """
     report = serve_smoke()
     print()
@@ -153,10 +158,10 @@ def test_serving_layer_sustained_load():
         "across concurrent sessions; the event loop or the engine "
         "executor is blocking"
     )
-    assert tcp["p99_ms"] <= 5_000.0, (
-        "P99 served-request latency exceeds 5 seconds under the smoke "
-        "load; requests are stalling behind ingest instead of "
-        "interleaving"
+    assert tcp["p99_ms"] <= 2_000.0, (
+        "P99 served-request latency exceeds 2 seconds under the smoke "
+        "load (warm-up rounds already absorb first-touch costs); "
+        "requests are stalling behind ingest instead of interleaving"
     )
     assert tcp["requests"] == (report["config"]["sessions"]
                                * report["config"]["requests_per_session"])
@@ -166,3 +171,42 @@ def test_serving_layer_sustained_load():
         "per-record protocol overhead"
     )
     assert inline["query_p99_ms"] <= 1_000.0
+
+
+@pytest.mark.perf
+def test_aqp_planner_gates():
+    """The tiered AQP planner's three BENCH_aqp.json gates hold.
+
+    Speedup and hit rate come from the planner's design, not host
+    speed: a cache hit is a handful of numpy reductions over <= 4096
+    in-memory rows while the disk path merges a full multi-shard
+    ``snapshot_batch`` (measured ~150x vs the 50x floor), and the
+    workload mix is constructed so the Section 2 sample-size
+    arithmetic certifies 85% of it from the cache at a 5% target vs
+    the 80% floor.  Bit-exactness is exact, not statistical: the
+    planner must never consume engine randomness, so the uncached
+    twin replaying the same escalation draws must match byte for
+    byte on samples, DiskStats, and the simulated clock.
+    """
+    report = aqp_smoke()
+    print()
+    print(render_aqp_report(report))
+    gates = report["gates"]
+    assert gates["speedup"] >= gates["speedup_floor"], (
+        "cache-hit answering no longer beats the uncached disk path "
+        "by 50x; the hot-subsample fast path is paying an engine "
+        "round-trip it should skip"
+    )
+    assert gates["hit_rate"] >= gates["hit_rate_floor"], (
+        "under 80% of the standard workload is answered from the "
+        "cache at the 5% error target; the CLT bound check or the "
+        "cache's coherence protocol regressed"
+    )
+    assert report["bit_exact"]["samples"], (
+        "the planner perturbed the engine's sample draws: an uncached "
+        "twin replaying the same escalations produced different records"
+    )
+    assert report["bit_exact"]["io"] and report["bit_exact"]["clock"], (
+        "the planner changed the engine's DiskStats or simulated "
+        "clock relative to an uncached twin"
+    )

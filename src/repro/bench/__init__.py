@@ -8,6 +8,7 @@ from .experiments import (
     experiment_2,
     experiment_3,
 )
+from .aqp import aqp_smoke, render_aqp_report
 from .perf import (
     perf_smoke,
     render_report,
@@ -30,6 +31,7 @@ __all__ = [
     "ExperimentSpec",
     "RunResult",
     "SeriesPoint",
+    "aqp_smoke",
     "ascii_chart",
     "experiment_1",
     "experiment_2",
@@ -38,6 +40,7 @@ __all__ = [
     "perf_smoke",
     "pipeline_smoke",
     "query_smoke",
+    "render_aqp_report",
     "render_pipeline_report",
     "render_query_report",
     "render_report",

@@ -1,0 +1,272 @@
+"""Tiered AQP planner benchmark: ``repro-bench --report aqp``.
+
+One inline-pool :class:`~repro.service.ShardedReservoir` (the serve
+benchmark's engine shape) is loaded with a uniform value stream, a
+:class:`~repro.estimate.QueryPlanner` is attached, and the *standard
+workload* -- 70% broad aggregates, 15% moderate range filters, 15%
+highly selective filters, all at a 5% relative-error target -- runs
+against it.  The report gates three properties:
+
+* **speedup** -- median cache-hit latency must beat the uncached disk
+  path (a full ``snapshot_batch`` + columnar estimate, what every
+  ``estimate_*`` call paid before the planner) by >= 50x.
+* **hit rate** -- >= 80% of the workload must be answerable from the
+  hot subsample within the 5% target (the Section 2 arithmetic: broad
+  aggregates need a few hundred rows, so a 4096-row cache certifies
+  them instantly; only the rare-predicate tail escalates).
+* **bit-exactness** -- the planner never touches engine randomness: an
+  uncached twin fed the same stream and issued the same escalation
+  draws must finish with byte-identical samples, equal
+  :class:`~repro.storage.disk_model.DiskStats` counters, and an equal
+  simulated clock.
+
+``benchmarks/perf_smoke.py`` asserts all three gates from the
+``BENCH_aqp.json`` this module produces.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+
+import numpy as np
+
+from ..storage.records import Record
+from .serve import _percentile
+
+#: Workload sizing: small enough for CI, large enough that the hit-rate
+#: and latency percentiles are stable across seeds.
+DEFAULT_STREAM = 30_000
+DEFAULT_QUERIES = 80
+DEFAULT_BUDGET = 4_096
+DEFAULT_ERROR = 0.05
+_BATCH = 2_000
+_CAPACITY_PER_SHARD = 6_000
+_BUFFER_PER_SHARD = 600
+_SHARDS = 4
+
+
+def _make_engine(root: str, seed: int):
+    from ..core.geometric_file import GeometricFileConfig
+    from ..service import ShardedReservoir
+
+    config = GeometricFileConfig(
+        capacity=_CAPACITY_PER_SHARD,
+        buffer_capacity=_BUFFER_PER_SHARD,
+        record_size=50,
+        retain_records=True,
+        admission="uniform",
+    )
+    return ShardedReservoir(root, config, shards=_SHARDS, pool="inline",
+                            partition="round-robin", seed=seed)
+
+
+def _stream_batches(stream: int, seed: int):
+    """The benchmark stream: values uniform on [0, 1000), seeded."""
+    rng = np.random.default_rng(seed)
+    for start in range(0, stream, _BATCH):
+        n = min(_BATCH, stream - start)
+        values = rng.uniform(0.0, 1000.0, size=n)
+        yield [Record(key=start + i, value=float(values[i]), timestamp=0.0)
+               for i in range(n)]
+
+
+def _workload(queries: int):
+    """The standard workload: (label, method, kwargs) triples.
+
+    Per 20 queries: 14 broad (no predicate -- a few hundred cache rows
+    certify 5%), 3 moderate (60%-selective range), 3 highly selective
+    (1% tail -- needs ~150k rows, forcing escalation).  Deterministic
+    interleaving, no RNG.
+    """
+    plan = []
+    for i in range(queries):
+        slot = i % 20
+        if slot < 14:
+            kind = ("avg", "sum", "count")[i % 3]
+            plan.append(("broad", kind, {}))
+        elif slot < 17:
+            kind = ("sum", "avg")[i % 2]
+            where = ("value", 0.0, 600.0) if kind == "sum" \
+                else ("value", 200.0, 800.0)
+            plan.append(("moderate", kind, {"where": where}))
+        else:
+            kind = ("count", "sum")[i % 2]
+            plan.append(("selective", kind,
+                         {"where": ("value", 990.0, 1000.0)}))
+    return plan
+
+
+def _run_workload(planner, queries: int) -> dict:
+    """Run the standard workload, recording tiers and latencies."""
+    hit_lat: list[float] = []
+    esc_lat: list[float] = []
+    tiers: dict[str, dict[str, int]] = {}
+    for label, kind, kwargs in _workload(queries):
+        method = getattr(planner, kind)
+        t0 = time.perf_counter()
+        answer = method(**kwargs)
+        elapsed = time.perf_counter() - t0
+        (hit_lat if answer.tier == "cache" else esc_lat).append(elapsed)
+        bucket = tiers.setdefault(label, {"cache": 0, "disk": 0})
+        bucket[answer.tier] += 1
+    return {
+        "hit_latencies": hit_lat,
+        "escalate_latencies": esc_lat,
+        "tiers": tiers,
+    }
+
+
+def _core_stats(engine) -> dict:
+    """The twin-comparable slice of ``stats()`` (no supervisor extras)."""
+    stats = engine.stats().as_dict()
+    return {field: stats.get(field)
+            for field in ("seen", "samples_added", "flushes", "clock", "io")}
+
+
+def _time_disk_path(engine, rounds: int) -> list[float]:
+    """The uncached baseline: full merged draw + columnar estimate."""
+    from ..estimate import BatchQuery
+
+    latencies = []
+    for i in range(rounds):
+        t0 = time.perf_counter()
+        batch, seen = engine.snapshot_batch(None)
+        q = BatchQuery(batch, seen)
+        (q.avg, q.sum, q.count)[i % 3]()
+        latencies.append(time.perf_counter() - t0)
+    return latencies
+
+
+def aqp_smoke(*, seed: int = 0, stream: int = DEFAULT_STREAM,
+              queries: int = DEFAULT_QUERIES, budget: int = DEFAULT_BUDGET,
+              error: float = DEFAULT_ERROR) -> dict:
+    """Run the tiered-AQP benchmark; returns the ``BENCH_aqp.json`` dict."""
+    from ..estimate import QueryPlanner
+
+    batches = list(_stream_batches(stream, seed))
+
+    with tempfile.TemporaryDirectory(prefix="repro-aqp-bench-") as root_a, \
+            tempfile.TemporaryDirectory(prefix="repro-aqp-twin-") as root_b:
+        planner_engine = _make_engine(root_a, seed)
+        twin = _make_engine(root_b, seed)
+        try:
+            # Record every escalation draw the planner issues so the
+            # uncached twin can replay the exact call sequence.
+            draws: list[int | None] = []
+            inner = planner_engine.snapshot_batch
+
+            def recording(k=None):
+                draws.append(k)
+                return inner(k)
+
+            planner_engine.snapshot_batch = recording
+            # Attached before ingest: the cache rides the stream through
+            # the offer_batch hooks and stays coherent throughout.
+            planner = QueryPlanner(planner_engine, error=error,
+                                   confidence=0.95, budget=budget, seed=seed)
+            for batch in batches:
+                planner_engine.offer_batch(batch)
+            run = _run_workload(planner, queries)
+            del planner_engine.snapshot_batch  # restore the bound method
+
+            # The uncached twin: identical stream, then the identical
+            # escalation draws, then byte-for-byte comparison.
+            for batch in batches:
+                twin.offer_batch(batch)
+            for k in draws:
+                twin.snapshot_batch(k)
+            batch_a, seen_a = planner_engine.snapshot_batch(None)
+            batch_b, seen_b = twin.snapshot_batch(None)
+            stats_a = _core_stats(planner_engine)
+            stats_b = _core_stats(twin)
+            bit_exact = {
+                "samples": bool(
+                    seen_a == seen_b
+                    and batch_a.array.tobytes() == batch_b.array.tobytes()),
+                "io": stats_a["io"] == stats_b["io"],
+                "clock": stats_a["clock"] == stats_b["clock"],
+            }
+
+            disk_lat = _time_disk_path(twin, rounds=12)
+        finally:
+            planner_engine.close()
+            twin.close()
+
+    hit_p50 = _percentile(run["hit_latencies"], 0.50)
+    disk_p50 = _percentile(disk_lat, 0.50)
+    speedup = disk_p50 / hit_p50 if hit_p50 > 0 else 0.0
+    hit_rate = planner.hit_rate
+    gates = {
+        "speedup_floor": 50.0,
+        "hit_rate_floor": 0.80,
+        "speedup": round(speedup, 1),
+        "hit_rate": round(hit_rate, 4),
+        "bit_exact": all(bit_exact.values()),
+    }
+    gates["pass"] = (gates["speedup"] >= gates["speedup_floor"]
+                     and gates["hit_rate"] >= gates["hit_rate_floor"]
+                     and gates["bit_exact"])
+    return {
+        "benchmark": "tiered AQP planner smoke",
+        "config": {
+            "seed": seed,
+            "stream": stream,
+            "queries": queries,
+            "budget": budget,
+            "error": error,
+            "engine": f"sharded service ({_SHARDS} shards, inline pool, "
+                      f"{_CAPACITY_PER_SHARD} records/shard)",
+        },
+        "workload": run["tiers"],
+        "planner": {
+            "queries": planner.queries,
+            "hits": planner.hits,
+            "escalations": planner.escalations,
+            "hit_rate": round(hit_rate, 4),
+            "cache_fill": planner.cache.fill,
+            "cache_refreshes": planner.cache.refreshes,
+            "escalation_draws": list(draws),
+        },
+        "latency": {
+            "cache_hit_p50_us": round(hit_p50 * 1e6, 1),
+            "cache_hit_p99_us": round(
+                _percentile(run["hit_latencies"], 0.99) * 1e6, 1),
+            "escalate_p50_us": round(
+                _percentile(run["escalate_latencies"], 0.50) * 1e6, 1),
+            "disk_p50_us": round(disk_p50 * 1e6, 1),
+            "speedup_p50": round(speedup, 1),
+        },
+        "bit_exact": bit_exact,
+        "gates": gates,
+    }
+
+
+def render_aqp_report(report: dict) -> str:
+    """Human-readable table of the :func:`aqp_smoke` report dict."""
+    config = report["config"]
+    planner = report["planner"]
+    latency = report["latency"]
+    gates = report["gates"]
+    exact = report["bit_exact"]
+    tier_lines = []
+    for label, bucket in sorted(report["workload"].items()):
+        tier_lines.append(
+            f"    {label:<10} cache {bucket['cache']:>3}   "
+            f"disk {bucket['disk']:>3}")
+    return "\n".join([
+        f"tiered AQP planner ({config['engine']})",
+        "",
+        f"  workload: {planner['queries']} queries at "
+        f"{config['error']:.0%} error, cache budget {config['budget']:,}",
+        *tier_lines,
+        f"  hit rate: {planner['hit_rate']:.1%}"
+        f"   (floor {gates['hit_rate_floor']:.0%})",
+        f"  latency: cache-hit P50 {latency['cache_hit_p50_us']:.0f} us"
+        f"   disk P50 {latency['disk_p50_us']:.0f} us"
+        f"   speedup {latency['speedup_p50']:.0f}x"
+        f" (floor {gates['speedup_floor']:.0f}x)",
+        f"  bit-exact twin: samples={exact['samples']}"
+        f" io={exact['io']} clock={exact['clock']}",
+        f"  gates: {'PASS' if gates['pass'] else 'FAIL'}",
+    ])

@@ -13,7 +13,9 @@ Benchmark reports all hang off one repeatable flag::
 with KIND one of ``ingest`` (batch-ingest throughput), ``query``
 (columnar query/AQP), ``pipeline`` (flush overlap + elevator),
 ``shard`` (sharded-service ingest; honours ``--shards`` / ``--pool``),
-and ``serve`` (client/server load over the asyncio front-end).  PATH
+``serve`` (client/server load over the asyncio front-end), and ``aqp``
+(the tiered planner's cache-hit speedup / hit-rate / bit-exactness
+gates).  PATH
 defaults to ``BENCH_<KIND>.json``.  The legacy spellings
 (``--perf-smoke``, ``--query-report``, ``--pipeline``,
 ``--shard-report``) still parse as hidden deprecated aliases.
@@ -45,6 +47,7 @@ import time
 
 from .bench import (
     ALTERNATIVE_NAMES,
+    aqp_smoke,
     ascii_chart,
     experiment_1,
     experiment_2,
@@ -53,6 +56,7 @@ from .bench import (
     perf_smoke,
     pipeline_smoke,
     query_smoke,
+    render_aqp_report,
     render_pipeline_report,
     render_query_report,
     render_report,
@@ -75,7 +79,7 @@ _EXPERIMENTS = {
 
 #: Benchmark report kinds accepted by ``--report KIND[=PATH]``, in the
 #: order they run when several are requested together.
-REPORT_KINDS = ("ingest", "query", "pipeline", "shard", "serve")
+REPORT_KINDS = ("ingest", "query", "pipeline", "shard", "serve", "aqp")
 
 
 def default_report_path(kind: str) -> str:
@@ -203,12 +207,15 @@ def _run_report(kind: str, args: argparse.Namespace) -> tuple[dict, str]:
         sized["pool"] = args.pool
         report = shard_smoke(**sized)
         return report, render_shard_report(report)
-    assert kind == "serve"
-    kwargs = {"seed": args.seed}
-    if args.batch_size is not None:
-        kwargs["batch_size"] = args.batch_size
-    report = serve_smoke(**kwargs)
-    return report, render_serve_report(report)
+    if kind == "serve":
+        kwargs = {"seed": args.seed}
+        if args.batch_size is not None:
+            kwargs["batch_size"] = args.batch_size
+        report = serve_smoke(**kwargs)
+        return report, render_serve_report(report)
+    assert kind == "aqp"
+    report = aqp_smoke(seed=args.seed)
+    return report, render_aqp_report(report)
 
 
 def main(argv: list[str] | None = None) -> int:

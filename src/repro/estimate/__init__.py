@@ -29,15 +29,21 @@ from .estimators import (
     horvitz_thompson_count,
     horvitz_thompson_sum,
 )
+from .planner import AqpAnswer, HotSubsample, QueryPlanner
+from .snapshots import SnapshotEstimator
 
 __all__ = [
+    "AqpAnswer",
     "BatchQuery",
     "ConfidenceInterval",
     "Estimate",
     "GroupResult",
+    "HotSubsample",
     "OnlineAggregator",
+    "QueryPlanner",
     "RippleJoin",
     "SampleQuery",
+    "SnapshotEstimator",
     "achieved_confidence",
     "chebyshev_bound",
     "chebyshev_sample_size",

@@ -26,6 +26,7 @@ from ..storage.recordbatch import RecordBatch
 from ..storage.records import Record
 from .clt import ConfidenceInterval
 from .estimators import Estimate, estimate_mean, estimate_sum
+from .snapshots import SnapshotEstimator
 
 
 @dataclass(frozen=True)
@@ -70,25 +71,25 @@ class SampleQuery:
         return SampleQuery([r for r in self._sample if predicate(r)],
                            self._population)
 
+    # The scalar aggregates delegate to the shared SnapshotEstimator
+    # (signatures preserved); filter/group_by remain relational sugar
+    # this class alone provides.
+
     def avg(self, value: Callable[[Record], float] | None = None) -> Estimate:
         """Mean of ``value`` over the population the sample represents."""
-        value = value or (lambda r: r.value)
-        return estimate_mean([value(r) for r in self._sample])
+        return self._estimator().avg(value=value)
 
     def sum(self, value: Callable[[Record], float] | None = None) -> Estimate:
         """Population SUM (requires ``population_size``)."""
-        self._need_population()
-        value = value or (lambda r: r.value)
-        return estimate_sum([value(r) for r in self._sample],
-                            self._population)
+        return self._estimator().sum(value=value)
 
     def count(self, predicate: Callable[[Record], bool] | None = None
               ) -> Estimate:
         """Population COUNT of matching records."""
-        self._need_population()
-        rows = [1.0 if (predicate is None or predicate(r)) else 0.0
-                for r in self._sample]
-        return estimate_sum(rows, self._population)
+        return self._estimator().count(predicate)
+
+    def _estimator(self) -> SnapshotEstimator:
+        return SnapshotEstimator(self._sample, self._population)
 
     def group_by(
         self,

@@ -1,0 +1,75 @@
+"""Shared snapshot estimators: one home for ``estimate_sum/count/avg``.
+
+Three call sites grew near-identical copies of the same loop -- build
+per-record contribution rows from a ``(records, seen)`` snapshot, then
+run the CLT estimator: :meth:`repro.serve.ServeClient.estimate_sum`,
+:meth:`repro.service.ShardedReservoir.estimate_sum`, and the
+:class:`~repro.estimate.aqp.SampleQuery` aggregate methods.
+:class:`SnapshotEstimator` is the single implementation they now all
+delegate to; the old methods keep their exact signatures as thin shims.
+
+The SUM/COUNT convention everywhere: records failing the predicate
+contribute 0 over the *whole* sample (the matching fraction is itself
+estimated from the sample), so the scale-up by the population size stays
+unbiased.  AVG restricts to the matching rows and needs no population.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..storage.records import Record
+from .estimators import Estimate, estimate_mean, estimate_sum
+
+
+class SnapshotEstimator:
+    """CLT aggregate estimates over one ``(records, seen)`` snapshot.
+
+    Args:
+        records: a uniform sample of the stream (record objects).
+        seen: the stream position the sample represents (the population
+            size SUM/COUNT scale up by); ``None`` permits AVG only.
+    """
+
+    def __init__(self, records: Sequence[Record],
+                 seen: int | None = None) -> None:
+        self._records = records
+        if seen is not None and seen < len(records):
+            raise ValueError("population smaller than the sample")
+        self._seen = seen
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def sum(self, *, value: Callable[[Record], float] | None = None,
+            predicate: Callable[[Record], bool] | None = None) -> Estimate:
+        """Population SUM(value) with non-matching records contributing 0."""
+        self._need_population()
+        value = value or (lambda r: r.value)
+        rows = [value(r) if (predicate is None or predicate(r)) else 0.0
+                for r in self._records]
+        return estimate_sum(rows, self._seen)
+
+    def count(self, predicate: Callable[[Record], bool] | None = None
+              ) -> Estimate:
+        """Population COUNT of records satisfying ``predicate``."""
+        self._need_population()
+        rows = [1.0 if (predicate is None or predicate(r)) else 0.0
+                for r in self._records]
+        return estimate_sum(rows, self._seen)
+
+    def avg(self, *, value: Callable[[Record], float] | None = None,
+            predicate: Callable[[Record], bool] | None = None) -> Estimate:
+        """Mean of ``value`` over records matching ``predicate``."""
+        value = value or (lambda r: r.value)
+        rows = [value(r) for r in self._records
+                if predicate is None or predicate(r)]
+        if len(rows) < 2:
+            raise ValueError(
+                "predicate matched fewer than two sampled records")
+        return estimate_mean(rows)
+
+    def _need_population(self) -> None:
+        if self._seen is None:
+            raise ValueError(
+                "population_size is required for SUM/COUNT scale-up")

@@ -44,6 +44,11 @@ EVENT_KINDS = (
     # or the admission controller.
     "serve_request",
     "rate_limited",
+    # Tiered AQP planner (repro.estimate.planner): a query answered
+    # from the memory-resident hot subsample within its error target,
+    # and a query escalated to a right-sized disk draw.
+    "aqp_cache_hit",
+    "aqp_escalate",
 )
 
 

@@ -257,6 +257,10 @@ class StreamReservoir(abc.ABC):
         # through stats() and the deprecated seen/samples_added shims.
         self._seen = 0
         self._samples_added = 0
+        # Hot AQP subsample (repro.estimate.planner.HotSubsample),
+        # attached by enable_aqp_cache(); None keeps every ingest hook
+        # a single attribute check.
+        self._hot = None
         # Observability hooks, attached by instrument().
         self._obs_name: str = self.name
         self._registry = None
@@ -458,12 +462,43 @@ class StreamReservoir(abc.ABC):
         warn_deprecated("StreamReservoir.clock", "stats().clock")
         return self._clock()
 
+    # -- hot AQP subsample ---------------------------------------------------
+
+    def enable_aqp_cache(self, budget: int = 4096, *, seed: int = 0):
+        """Attach (or return) the memory-resident AQP hot subsample.
+
+        Every record-bearing ingest verb feeds the cache from then on;
+        count-only paths mark it incoherent (see
+        :class:`repro.estimate.planner.HotSubsample`).  The cache owns
+        an independent RNG, so enabling it never perturbs the
+        structure's own streams -- an instrumented twin stays bit-exact.
+        Idempotent: a second call returns the existing cache.
+        """
+        if self._hot is None:
+            from .estimate.planner import HotSubsample
+            schema = getattr(self, "schema", None)
+            if schema is None:
+                from .storage.records import RecordSchema
+                record_size = getattr(getattr(self, "config", None),
+                                      "record_size", 100)
+                schema = RecordSchema(record_size)
+            self._hot = HotSubsample(schema, budget, seed=seed,
+                                     stream_seen=self._seen)
+        return self._hot
+
+    @property
+    def aqp_cache(self):
+        """The attached hot subsample, or ``None``."""
+        return self._hot
+
     # -- ingestion ---------------------------------------------------------
 
     def offer(self, record: Record) -> None:
         """Present one stream record (record-level exact path)."""
         self._check_engine()
         self._seen += 1
+        if self._hot is not None:
+            self._hot.observe(record)
         if self._admits_current():
             self._samples_added += 1
             self._admit(record)
@@ -492,6 +527,8 @@ class StreamReservoir(abc.ABC):
         n = len(records)
         if n == 0:
             return 0
+        if self._hot is not None:
+            self._hot.observe_many(records)
         first = self._seen + 1
         last = self._seen + n
         self._seen = last
@@ -535,6 +572,8 @@ class StreamReservoir(abc.ABC):
         n = len(batch)
         if n == 0:
             return 0
+        if self._hot is not None:
+            self._hot.observe_batch(batch)
         first = self._seen + 1
         last = self._seen + n
         self._seen = last
@@ -649,6 +688,8 @@ class StreamReservoir(abc.ABC):
             raise ValueError("cannot ingest a negative count")
         if n == 0:
             return
+        if self._hot is not None:
+            self._hot.observe_count(n)
         self._seen += n
         if self.admission == "always":
             admitted = n
@@ -676,10 +717,17 @@ class StreamReservoir(abc.ABC):
         """Record that ``n`` stream records passed by unsampled."""
         if n < 0:
             raise ValueError("cannot skip a negative number of records")
+        if self._hot is not None:
+            # Skipped records never materialise, so the hot subsample
+            # cannot stay a uniform sample of the stream: mark it
+            # incoherent and let the planner's next escalation re-seed.
+            self._hot.observe_count(n)
         self._seen += n
 
     def _accept(self, record: Record | None) -> None:
         """Accept one stream record whose admission was decided upstream."""
+        if self._hot is not None:
+            self._hot.observe_count(1)
         self._seen += 1
         self._samples_added += 1
         self._admit(record)
@@ -688,6 +736,8 @@ class StreamReservoir(abc.ABC):
         """Batch form of :meth:`_accept` (one :meth:`_admit_many` call)."""
         if not records:
             return
+        if self._hot is not None:
+            self._hot.observe_count(len(records))
         self._seen += len(records)
         self._samples_added += len(records)
         self._admit_many(records)

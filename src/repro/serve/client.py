@@ -27,7 +27,7 @@ import json
 import time
 from typing import Callable
 
-from ..estimate import Estimate, estimate_avg, estimate_count, estimate_sum
+from ..estimate import Estimate, SnapshotEstimator
 from ..obs import ReservoirStats, stats_from_dict
 from ..storage.recordbatch import RecordBatch
 from ..storage.records import Record, RecordSchema
@@ -91,6 +91,7 @@ class ServeClient:
         self._hello: dict | None = None
         self.retries = 0
         self._closed = False
+        self._hot = None
 
     # -- constructors --------------------------------------------------------
 
@@ -144,17 +145,28 @@ class ServeClient:
     def offer(self, record: Record) -> None:
         """Present one stream record to the served reservoir."""
         self._call("offer", {"record": encode_record(record)})
+        if self._hot is not None:
+            self._hot.observe(record)
 
     def offer_batch(self, records) -> int:
         """Present a batch (``RecordBatch`` or sequence); returns the
         number admitted."""
         result = self._call("offer_batch",
                             {"records": _encode_batch_arg(records)})
+        if self._hot is not None:
+            if isinstance(records, RecordBatch):
+                self._hot.observe_batch(records)
+            else:
+                self._hot.observe_many(
+                    records if isinstance(records, (list, tuple))
+                    else list(records))
         return int(result["admitted"])
 
     def ingest(self, n: int) -> None:
         """Count-only ingestion (cheap load generation)."""
         self._call("ingest", {"n": int(n)})
+        if self._hot is not None:
+            self._hot.observe_count(int(n))
 
     def sample(self, k: int | None = None) -> list[Record]:
         """A uniform random sample of the served union stream."""
@@ -192,29 +204,23 @@ class ServeClient:
         self._transport.close()
 
     # -- AQP conveniences ----------------------------------------------------
+    # Thin shims over the shared :class:`repro.estimate.SnapshotEstimator`
+    # (one wire snapshot, estimator math run locally — predicates are
+    # callables and stay client-side); signatures are preserved exactly.
 
     def estimate_sum(self, k: int | None = None, *,
                      value: Callable[[Record], float] | None = None,
                      predicate: Callable[[Record], bool] | None = None,
                      ) -> Estimate:
-        """Estimate SUM(value) over the entire served stream.
-
-        Mirrors :meth:`repro.service.ShardedReservoir.estimate_sum`:
-        one wire snapshot, estimator math run locally (predicates are
-        callables and stay client-side).
-        """
-        records, seen = self.snapshot(k)
-        value = value or (lambda r: r.value)
-        rows = [value(r) if (predicate is None or predicate(r)) else 0.0
-                for r in records]
-        return estimate_sum(rows, seen)
+        """Estimate SUM(value) over the entire served stream."""
+        return SnapshotEstimator(*self.snapshot(k)).sum(
+            value=value, predicate=predicate)
 
     def estimate_count(self, k: int | None = None,
                        predicate: Callable[[Record], bool] = lambda r: True,
                        ) -> Estimate:
         """Estimate COUNT of stream records satisfying ``predicate``."""
-        records, seen = self.snapshot(k)
-        return estimate_count(records, seen, predicate)
+        return SnapshotEstimator(*self.snapshot(k)).count(predicate)
 
     def estimate_avg(self, k: int | None = None, *,
                      value: Callable[[Record], float] | None = None,
@@ -222,7 +228,36 @@ class ServeClient:
                      ) -> Estimate:
         """Estimate AVG(value) over stream records matching ``predicate``."""
         records, _ = self.snapshot(k)
-        return estimate_avg(records, predicate, value)
+        return SnapshotEstimator(records).avg(value=value, predicate=predicate)
+
+    # -- Tiered AQP cache ----------------------------------------------------
+
+    def enable_aqp_cache(self, budget: int = 4096, *, seed: int = 0):
+        """Attach a client-side :class:`repro.estimate.HotSubsample`.
+
+        A :class:`repro.estimate.QueryPlanner` over this client answers
+        bounded queries from the local cache without any wire round-trip
+        (and hence without the server-side ``flush_barrier``); only
+        escalations touch the transport.  Records already offered before
+        enabling (per :meth:`stats`) leave the cache incoherent until the
+        first escalation refreshes it from a uniform server draw.
+
+        ``AsyncServeClient`` deliberately has no cache: its concurrency
+        model would interleave ``observe`` calls across in-flight offers,
+        breaking the sequential admission law the cache relies on.
+        """
+        if self._hot is None:
+            from ..estimate.planner import HotSubsample
+            record_size = int(self.hello().get("record_size") or 0)
+            schema = RecordSchema(record_size if record_size > 0 else 100)
+            self._hot = HotSubsample(schema, budget, seed=seed,
+                                     stream_seen=self.stats().seen)
+        return self._hot
+
+    @property
+    def aqp_cache(self):
+        """The attached :class:`HotSubsample`, or ``None``."""
+        return self._hot
 
 
 class AsyncServeClient:

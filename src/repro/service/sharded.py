@@ -33,13 +33,7 @@ import numpy as np
 
 from ..core.geometric_file import GeometricFile, GeometricFileConfig
 from ..core.multi import MultiFileConfig, MultipleGeometricFiles
-from ..estimate import (
-    BatchQuery,
-    Estimate,
-    estimate_avg,
-    estimate_count,
-    estimate_sum,
-)
+from ..estimate import BatchQuery, Estimate, SnapshotEstimator
 from ..obs import ReservoirStats, aggregate_stats, stats_from_dict
 from ..obs.deprecation import warn_deprecated
 from ..storage.device import DeviceSpec
@@ -153,6 +147,8 @@ class ShardedReservoir:
         self._next_seq = {i: 1 for i in range(shards)}
         self._acked = {i: 0 for i in range(shards)}
         self._offered = 0
+        self._seed = seed
+        self._hot = None
         self._token = 0
         self.recoveries = 0
         self.backpressure_stalls = 0
@@ -220,9 +216,17 @@ class ShardedReservoir:
         if self._closed:
             raise RuntimeError("service is closed")
         if isinstance(records, RecordBatch):
+            if self._hot is not None:
+                self._hot.observe_batch(records)
             records = list(records)
-        elif not isinstance(records, (list, tuple)):
-            records = list(records)
+        else:
+            if not isinstance(records, (list, tuple)):
+                records = list(records)
+            if self._hot is not None:
+                # Fed *before* partitioning: the supervisor-side cache
+                # over the union stream is exactly the hypergeometric
+                # merge of per-shard caches, with the merge pre-paid.
+                self._hot.observe_many(records)
         parts = self._partitioner.split(records)
         for shard_id, part in enumerate(parts):
             if part:
@@ -241,6 +245,8 @@ class ShardedReservoir:
             raise RuntimeError("service is closed")
         if n < 0:
             raise ValueError("cannot ingest a negative count")
+        if self._hot is not None:
+            self._hot.observe_count(n)
         for shard_id, count in enumerate(self._partitioner.split_count(n)):
             if count:
                 self._post(shard_id, ("ingest", None, count))
@@ -346,6 +352,10 @@ class ShardedReservoir:
                 for p in self._broadcast_query("stats")]
 
     # -- AQP over the merged sample -----------------------------------------
+    #
+    # Thin shims over the shared repro.estimate.SnapshotEstimator (the
+    # three near-identical per-front-end loops were deduplicated there);
+    # signatures are preserved exactly.
 
     def estimate_sum(self, k: int, *,
                      value: Callable[[Record], float] | None = None,
@@ -356,17 +366,13 @@ class ShardedReservoir:
         Draws a fresh uniform ``k``-sample and scales by the union
         ``seen`` count; records failing ``predicate`` contribute 0.
         """
-        records, seen = self.snapshot(k)
-        value = value or (lambda r: r.value)
-        rows = [value(r) if (predicate is None or predicate(r)) else 0.0
-                for r in records]
-        return estimate_sum(rows, seen)
+        return SnapshotEstimator(*self.snapshot(k)).sum(
+            value=value, predicate=predicate)
 
     def estimate_count(self, k: int,
                        predicate: Callable[[Record], bool]) -> Estimate:
         """Estimate COUNT of stream records satisfying ``predicate``."""
-        records, seen = self.snapshot(k)
-        return estimate_count(records, seen, predicate)
+        return SnapshotEstimator(*self.snapshot(k)).count(predicate)
 
     def estimate_avg(self, k: int, *,
                      value: Callable[[Record], float] | None = None,
@@ -374,7 +380,35 @@ class ShardedReservoir:
                      ) -> Estimate:
         """Estimate AVG(value) over stream records matching ``predicate``."""
         records, _ = self.snapshot(k)
-        return estimate_avg(records, predicate, value)
+        return SnapshotEstimator(records).avg(value=value,
+                                              predicate=predicate)
+
+    # -- hot AQP subsample ---------------------------------------------------
+
+    def enable_aqp_cache(self, budget: int = 4096, *,
+                         seed: int | None = None):
+        """Attach (or return) the supervisor-side AQP hot subsample.
+
+        Fed in :meth:`offer_batch` *before* partitioning, so the cache
+        is a uniform sub-reservoir of the union stream -- equivalent to
+        maintaining per-shard hot caches and merging them through the
+        hypergeometric allocation, with the merge pre-paid at ingest.
+        Count-only :meth:`ingest` marks it incoherent; the planner's
+        next escalation (a merged :meth:`snapshot_batch` draw)
+        re-seeds it.
+        """
+        if self._hot is None:
+            from ..estimate.planner import HotSubsample
+            base = self._seed if seed is None else seed
+            self._hot = HotSubsample(self._schema, budget,
+                                     seed=0 if base is None else base,
+                                     stream_seen=self._offered)
+        return self._hot
+
+    @property
+    def aqp_cache(self):
+        """The attached hot subsample, or ``None``."""
+        return self._hot
 
     # -- durability and chaos ------------------------------------------------
 

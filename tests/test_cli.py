@@ -90,6 +90,21 @@ class TestSmokeInvocation:
         assert '"experiment"' not in out
 
 
+class TestAqpReport:
+    def test_report_aqp_writes_gated_json(self, tmp_path, capsys):
+        path = tmp_path / "aqp.json"
+        rc = main(["--report", f"aqp={path}"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "tiered AQP planner" in out
+        assert f"wrote {path}" in out
+        report = json.loads(path.read_text())
+        gates = report["gates"]
+        assert set(gates) >= {"speedup", "hit_rate", "bit_exact", "pass"}
+        assert report["bit_exact"]["samples"] is True
+        assert report["planner"]["queries"] == report["config"]["queries"]
+
+
 class TestParser:
     def test_flags_are_registered(self):
         parser = build_parser()
@@ -123,6 +138,14 @@ class TestParser:
     def test_unknown_report_kind_rejected(self):
         with pytest.raises(SystemExit):
             main(["--report", "turbo"])
+
+    def test_aqp_is_a_registered_report_kind(self):
+        from repro.cli import REPORT_KINDS, default_report_path
+        assert "aqp" in REPORT_KINDS
+        assert default_report_path("aqp") == "BENCH_aqp.json"
+        parser = build_parser()
+        args = parser.parse_args(["--report", "aqp=out.json"])
+        assert args.reports == ["aqp=out.json"]
 
     def test_experiment_required_without_reports(self):
         with pytest.raises(SystemExit):

@@ -18,6 +18,7 @@ from __future__ import annotations
 import pytest
 
 from repro.bench.aqp import aqp_smoke, render_aqp_report
+from repro.bench.laws import law_smoke, render_law_report
 from repro.bench.perf import (
     perf_smoke,
     render_report,
@@ -209,4 +210,39 @@ def test_aqp_planner_gates():
     assert report["bit_exact"]["io"] and report["bit_exact"]["clock"], (
         "the planner changed the engine's DiskStats or simulated "
         "clock relative to an uncached twin"
+    )
+
+
+@pytest.mark.perf
+def test_law_gates():
+    """The sampling-law engine's two BENCH_law.json gates hold.
+
+    Twin parity is exact, not statistical: an engine built from a
+    default (law-less) config and one with an explicit law='uniform'
+    must match bit for bit on sample keys, DiskStats, and the
+    simulated clock -- the uniform law's method bodies are the
+    pre-refactor code on the same RNGs, so any divergence is a
+    behavioural regression in the law dispatch.  The weighted gate is
+    a same-run ratio (measured ~0.7x vs the 0.2x floor, see
+    BENCH_law.json), so it holds on any host and trips only when
+    A-ExpJ admission falls back to per-record work.
+    """
+    report = law_smoke()
+    print()
+    print(render_law_report(report))
+    exact = report["bit_exact"]
+    assert exact["samples"], (
+        "an explicit law='uniform' engine drew different sample keys "
+        "than the default config; the uniform law no longer replays "
+        "the pre-refactor RNG stream"
+    )
+    assert exact["io"] and exact["clock"], (
+        "law dispatch changed the uniform engine's DiskStats or "
+        "simulated clock relative to the default config"
+    )
+    gates = report["gates"]
+    assert gates["weighted_ratio"] >= gates["weighted_ratio_floor"], (
+        "batched A-ExpJ ingest fell below the uniform-ingest ratio "
+        "floor; the exponential-jump batching or the vectorised key "
+        "kernel stopped being used"
     )

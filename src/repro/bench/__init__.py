@@ -9,6 +9,7 @@ from .experiments import (
     experiment_3,
 )
 from .aqp import aqp_smoke, render_aqp_report
+from .laws import law_smoke, render_law_report
 from .perf import (
     perf_smoke,
     render_report,
@@ -37,10 +38,12 @@ __all__ = [
     "experiment_2",
     "experiment_3",
     "io_summary_table",
+    "law_smoke",
     "perf_smoke",
     "pipeline_smoke",
     "query_smoke",
     "render_aqp_report",
+    "render_law_report",
     "render_pipeline_report",
     "render_query_report",
     "render_report",

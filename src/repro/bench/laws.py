@@ -1,0 +1,198 @@
+"""Sampling-law benchmark: ``repro-bench --report law``.
+
+Two properties of the pluggable law engine are measured and gated:
+
+* **uniform twin parity** -- a geometric file built from a default
+  (law-less) config and one built with an explicit ``law="uniform"``
+  must be *bit-exact* after the same stream: identical sample keys,
+  equal :class:`~repro.storage.disk_model.DiskStats` counters, and an
+  equal simulated clock.  The uniform law's method bodies are the
+  pre-refactor code on the same RNG objects, so any divergence means
+  the refactor changed behaviour, not just structure.
+
+* **weighted-ingest throughput** -- batched A-ExpJ ingest
+  (``law="aexpj"``, value-proportional weights) must stay within a
+  constant factor of uniform batched ingest on the same stream.  The
+  gate is a *ratio* of two same-run wall-clock measurements, so it
+  holds on any host; a trip means the weighted admission path fell
+  back to per-record work (the exponential-jump batching or the
+  vectorised key kernel stopped being used).
+
+The per-law table (records/s, flushes, final sample size, law
+counters) is informational; ``benchmarks/perf_smoke.py`` asserts the
+two gates from the ``BENCH_law.json`` this module produces.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..storage.records import Record
+
+DEFAULT_RECORDS = 60_000
+_BATCH = 2_000
+_CAPACITY = 2_000
+_BUFFER = 200
+
+#: A-ExpJ batched ingest must stay within this factor of uniform
+#: batched ingest (measured ~0.8-1.2x; the floor trips only when the
+#: weighted path regresses to per-record speed).
+WEIGHTED_RATIO_FLOOR = 0.2
+
+#: Law configurations benchmarked, in run order.
+LAW_CASES = (
+    ("uniform", ()),
+    ("aexpj", (("weight", "value"),)),
+    ("wr", (("weight", "value"),)),
+    # Sized so the expected candidate need s*(1 + ln(window/s)) ~ 1860
+    # fits the 2000-record budget; overflow_events stays near zero.
+    ("window", (("window", 10_000), ("sample_size", 400))),
+)
+
+
+def _make_file(law: str, law_params: tuple, seed: int):
+    from ..core.geometric_file import GeometricFile, GeometricFileConfig
+    from ..storage.device import SimulatedBlockDevice
+    from ..storage.disk_model import DiskParameters
+
+    config = GeometricFileConfig(
+        capacity=_CAPACITY,
+        buffer_capacity=_BUFFER,
+        record_size=50,
+        retain_records=True,
+        law=law,
+        law_params=law_params,
+    )
+    params = DiskParameters(seek_time=0.010,
+                            transfer_rate=40 * 1024 * 1024,
+                            block_size=4096)
+    blocks = GeometricFile.required_blocks(config, params.block_size)
+    device = SimulatedBlockDevice(blocks, params)
+    return GeometricFile(device, config, seed=seed)
+
+
+def _stream_batches(records: int, seed: int):
+    """Benchmark stream: values uniform on [0, 1000), seeded."""
+    rng = np.random.default_rng(seed)
+    batches = []
+    for start in range(0, records, _BATCH):
+        n = min(_BATCH, records - start)
+        values = rng.uniform(0.0, 1000.0, size=n)
+        batches.append([
+            Record(key=start + i, value=float(values[i]),
+                   timestamp=float(start + i))
+            for i in range(n)
+        ])
+    return batches
+
+
+def _twin_parity(batches, seed: int) -> dict:
+    """Default config vs explicit law='uniform': bit-exact or bust."""
+    from ..core.geometric_file import GeometricFile, GeometricFileConfig
+    from ..storage.device import SimulatedBlockDevice
+    from ..storage.disk_model import DiskParameters
+
+    params = DiskParameters(seek_time=0.010,
+                            transfer_rate=40 * 1024 * 1024,
+                            block_size=4096)
+    twins = []
+    for law_kw in ({}, {"law": "uniform"}):
+        config = GeometricFileConfig(
+            capacity=_CAPACITY, buffer_capacity=_BUFFER, record_size=50,
+            retain_records=True, **law_kw)
+        blocks = GeometricFile.required_blocks(config, params.block_size)
+        gf = GeometricFile(SimulatedBlockDevice(blocks, params),
+                           config, seed=seed)
+        for batch in batches:
+            gf.offer_many(batch)
+        twins.append(gf)
+    a, b = twins
+    samples = ([r.key for r in a.sample()] == [r.key for r in b.sample()])
+    return {
+        "samples": bool(samples),
+        "io": a.device.stats() == b.device.stats(),
+        "clock": a._clock() == b._clock(),
+    }
+
+
+def _ingest(law: str, law_params: tuple, batches, seed: int) -> dict:
+    gf = _make_file(law, law_params, seed)
+    records = sum(len(b) for b in batches)
+    t0 = time.perf_counter()
+    for batch in batches:
+        gf.offer_many(batch)
+    elapsed = time.perf_counter() - t0
+    gf.check_invariants()
+    row = {
+        "records_per_s": round(records / elapsed, 1),
+        "flushes": gf.flushes,
+        "sample_size": len(gf.sample()),
+        "law": gf._stats_extra().get("law"),
+    }
+    gf.close()
+    return row
+
+
+def law_smoke(*, seed: int = 0, records: int = DEFAULT_RECORDS) -> dict:
+    """Run the sampling-law benchmark; returns the BENCH_law.json dict."""
+    batches = _stream_batches(records, seed)
+    bit_exact = _twin_parity(batches, seed)
+    laws = {law: _ingest(law, law_params, batches, seed)
+            for law, law_params in LAW_CASES}
+    ratio = (laws["aexpj"]["records_per_s"]
+             / laws["uniform"]["records_per_s"])
+    gates = {
+        "weighted_ratio_floor": WEIGHTED_RATIO_FLOOR,
+        "weighted_ratio": round(ratio, 3),
+        "bit_exact": all(bit_exact.values()),
+    }
+    gates["pass"] = (gates["weighted_ratio"] >= WEIGHTED_RATIO_FLOOR
+                     and gates["bit_exact"])
+    return {
+        "benchmark": "sampling-law engine smoke",
+        "config": {
+            "seed": seed,
+            "records": records,
+            "capacity": _CAPACITY,
+            "buffer_capacity": _BUFFER,
+            "cases": [
+                {"law": law, "params": [list(p) for p in law_params]}
+                for law, law_params in LAW_CASES
+            ],
+        },
+        "laws": laws,
+        "bit_exact": bit_exact,
+        "gates": gates,
+    }
+
+
+def render_law_report(report: dict) -> str:
+    """Human-readable table of the :func:`law_smoke` report dict."""
+    config = report["config"]
+    gates = report["gates"]
+    exact = report["bit_exact"]
+    rows = []
+    for law, row in report["laws"].items():
+        extra = ""
+        law_stats = row.get("law") or {}
+        for key in ("log_threshold", "total_weight", "overflow_events"):
+            if key in law_stats:
+                extra = f"   {key}={law_stats[key]:.6g}"
+        rows.append(
+            f"    {law:<8} {row['records_per_s']:>12,.0f} rec/s   "
+            f"flushes {row['flushes']:>4}   "
+            f"sample {row['sample_size']:>5}{extra}")
+    return "\n".join([
+        f"sampling-law engine ({config['records']:,} records, "
+        f"capacity {config['capacity']:,})",
+        "",
+        *rows,
+        f"  uniform twin: samples={exact['samples']}"
+        f" io={exact['io']} clock={exact['clock']}",
+        f"  weighted ingest ratio (aexpj/uniform): "
+        f"{gates['weighted_ratio']:.2f}"
+        f" (floor {gates['weighted_ratio_floor']:.2f})",
+        f"  gates: {'PASS' if gates['pass'] else 'FAIL'}",
+    ])

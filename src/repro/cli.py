@@ -13,9 +13,10 @@ Benchmark reports all hang off one repeatable flag::
 with KIND one of ``ingest`` (batch-ingest throughput), ``query``
 (columnar query/AQP), ``pipeline`` (flush overlap + elevator),
 ``shard`` (sharded-service ingest; honours ``--shards`` / ``--pool``),
-``serve`` (client/server load over the asyncio front-end), and ``aqp``
+``serve`` (client/server load over the asyncio front-end), ``aqp``
 (the tiered planner's cache-hit speedup / hit-rate / bit-exactness
-gates).  PATH
+gates), and ``law`` (the sampling-law engine: uniform twin parity and
+the weighted-ingest throughput ratio).  PATH
 defaults to ``BENCH_<KIND>.json``.  The legacy spellings
 (``--perf-smoke``, ``--query-report``, ``--pipeline``,
 ``--shard-report``) still parse as hidden deprecated aliases.
@@ -53,10 +54,12 @@ from .bench import (
     experiment_2,
     experiment_3,
     io_summary_table,
+    law_smoke,
     perf_smoke,
     pipeline_smoke,
     query_smoke,
     render_aqp_report,
+    render_law_report,
     render_pipeline_report,
     render_query_report,
     render_report,
@@ -79,7 +82,8 @@ _EXPERIMENTS = {
 
 #: Benchmark report kinds accepted by ``--report KIND[=PATH]``, in the
 #: order they run when several are requested together.
-REPORT_KINDS = ("ingest", "query", "pipeline", "shard", "serve", "aqp")
+REPORT_KINDS = ("ingest", "query", "pipeline", "shard", "serve", "aqp",
+                "law")
 
 
 def default_report_path(kind: str) -> str:
@@ -213,9 +217,12 @@ def _run_report(kind: str, args: argparse.Namespace) -> tuple[dict, str]:
             kwargs["batch_size"] = args.batch_size
         report = serve_smoke(**kwargs)
         return report, render_serve_report(report)
-    assert kind == "aqp"
-    report = aqp_smoke(seed=args.seed)
-    return report, render_aqp_report(report)
+    if kind == "aqp":
+        report = aqp_smoke(seed=args.seed)
+        return report, render_aqp_report(report)
+    assert kind == "law"
+    report = law_smoke(seed=args.seed)
+    return report, render_law_report(report)
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -220,6 +220,12 @@ class BiasedSamplingMixin:
                 "biased sampling stores per-record weights; configure "
                 "retain_records=True"
             )
+        if config.law != "uniform":
+            raise ValueError(
+                "biased structures implement Algorithm 4 directly and "
+                "require law='uniform'; use the plain structures with "
+                f"law={config.law!r} instead"
+            )
 
 
 class BiasedGeometricFile(BiasedSamplingMixin, GeometricFile):

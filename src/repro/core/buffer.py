@@ -60,17 +60,29 @@ class SampleBuffer:
             when not supplied.
         schema: switch to columnar slab storage over this record
             schema (implies record retention; uniform-only).
+        aux_width: float64 auxiliary columns carried per record for
+            non-uniform sampling laws (keys, stream positions).  Aux
+            rows ride :meth:`append` / :meth:`replace` in lock-step
+            with the records and come back permuted identically by
+            :meth:`drain` (via :meth:`take_aux`); the Algorithm 2
+            replacement verbs are uniform-law-only and refuse an
+            aux-carrying buffer.
     """
 
     def __init__(self, capacity: int, rng: random.Random,
                  *, retain_records: bool = True,
                  np_rng: np.random.Generator | None = None,
-                 schema: RecordSchema | None = None) -> None:
+                 schema: RecordSchema | None = None,
+                 aux_width: int = 0) -> None:
         if capacity < 1:
             raise ValueError("buffer capacity must be at least 1")
         if schema is not None and schema.weighted:
             raise ValueError("columnar buffers are uniform-only; weighted "
                              "sampling stays on the object path")
+        if aux_width < 0:
+            raise ValueError("aux_width cannot be negative")
+        if aux_width and not (retain_records or schema is not None):
+            raise ValueError("aux columns require record retention")
         self.capacity = capacity
         self._rng = rng
         self._np_rng = np_rng
@@ -84,6 +96,10 @@ class SampleBuffer:
             [] if self._retain and schema is None else None
         )
         self._weights: list[float] | None = None
+        self._aux: np.ndarray | None = (
+            np.zeros((capacity, aux_width)) if aux_width else None
+        )
+        self._drained_aux: np.ndarray | None = None
         self._count = 0
         self._scale = 1.0
 
@@ -132,17 +148,36 @@ class SampleBuffer:
             raise TypeError("buffer holds no weights")
         return [w * self._scale for w in self._weights]
 
+    @property
+    def aux_width(self) -> int:
+        return 0 if self._aux is None else self._aux.shape[1]
+
+    def aux_view(self) -> np.ndarray:
+        """The live aux rows: a view, not a copy (see pending_view)."""
+        if self._aux is None:
+            raise TypeError("buffer carries no aux columns")
+        return self._aux[:self._count]
+
     # -- mutation ---------------------------------------------------------
 
-    def append(self, record: Record | None, weight: float | None = None) -> None:
+    def append(self, record: Record | None, weight: float | None = None,
+               *, aux=None) -> None:
         """Add one record unconditionally (start-up phase).
 
         While the reservoir is still filling nothing is ever evicted, so
         admitted records simply join the buffer; the in-buffer
         replacement branch only exists once the reservoir is full.
+
+        ``aux`` is the record's auxiliary row when the buffer carries
+        aux columns (non-uniform laws stage *every* admitted record
+        through this verb, startup and steady alike).
         """
         if self.is_full:
             raise ValueError("buffer full; flush before appending more")
+        if (aux is None) != (self._aux is None):
+            raise TypeError("aux row and buffer aux_width must agree")
+        if aux is not None:
+            self._aux[self._count] = aux
         if self._slab is not None:
             if weight is not None:
                 raise TypeError("columnar buffers are uniform-only")
@@ -175,6 +210,30 @@ class SampleBuffer:
             raise ValueError("append_count would overfill the buffer")
         self._count += n
 
+    def replace(self, slot: int, record: Record) -> None:
+        """Overwrite a buffered record in place (with-replacement laws).
+
+        The slot's identity changes but the buffer count does not --
+        the overwritten record's deferred disk eviction (if any) now
+        belongs to the new occupant.  Aux-carrying buffers refuse:
+        their laws never overwrite staged candidates.
+        """
+        if not 0 <= slot < self._count:
+            raise IndexError(f"slot {slot} outside the {self._count} "
+                             "buffered records")
+        if self._aux is not None:
+            raise TypeError("aux-carrying buffers do not replace in place")
+        if record is None:
+            raise ValueError("record-retaining buffer needs the record")
+        if self._slab is not None:
+            self._slab[slot] = self._encode_row(record)
+            return
+        if self._records is None:
+            raise TypeError("buffer is running in count-only mode")
+        if self._weights is not None:
+            raise TypeError("weighted buffers replace via add_admitted")
+        self._records[slot] = record
+
     def add_admitted(self, record: Record | None, reservoir_size: int,
                      weight: float | None = None) -> bool:
         """Place one admitted record (Algorithm 2, lines 6-10).
@@ -195,6 +254,9 @@ class SampleBuffer:
         """
         if self.is_full:
             raise ValueError("buffer full; flush before admitting more")
+        if self._aux is not None:
+            raise TypeError("Algorithm 2 replacement is uniform-law-only; "
+                            "aux-carrying buffers stage via append")
         if self._slab is not None:
             if weight is not None:
                 raise TypeError("columnar buffers are uniform-only")
@@ -249,6 +311,8 @@ class SampleBuffer:
             raise ValueError("extend would overfill the buffer")
         if self._weights is not None:
             raise TypeError("weighted buffers append per record")
+        if self._aux is not None:
+            raise TypeError("aux-carrying buffers append per record")
         if self._slab is not None:
             encode = self._encode_row
             slab = self._slab
@@ -270,6 +334,8 @@ class SampleBuffer:
         """Columnar :meth:`extend`: one slab slice copy (start-up phase)."""
         if self._slab is None:
             raise TypeError("buffer is not columnar; use extend")
+        if self._aux is not None:
+            raise TypeError("aux-carrying buffers append per record")
         n = len(batch)
         if n == 0:
             return
@@ -301,6 +367,9 @@ class SampleBuffer:
         if self._weights is not None:
             raise TypeError("weighted buffers admit per record; "
                             "use add_admitted")
+        if self._aux is not None:
+            raise TypeError("Algorithm 2 replacement is uniform-law-only; "
+                            "aux-carrying buffers stage via append")
         n = len(records)
         if not 0 <= start <= n:
             raise ValueError(f"start {start} outside the batch of {n}")
@@ -324,6 +393,9 @@ class SampleBuffer:
         """
         if self._slab is None:
             raise TypeError("buffer is not columnar; use absorb_many")
+        if self._aux is not None:
+            raise TypeError("Algorithm 2 replacement is uniform-law-only; "
+                            "aux-carrying buffers stage via append")
         if self.is_full:
             raise ValueError("buffer full; flush before admitting more")
         n = len(batch)
@@ -511,10 +583,10 @@ class SampleBuffer:
             # downstream draw stay bit-exact between them.
             order = list(range(count))
             self._rng.shuffle(order)
-            batch = RecordBatch(
-                self._schema,
-                self._slab[:count][np.asarray(order, dtype=np.intp)],
-            )
+            index = np.asarray(order, dtype=np.intp)
+            batch = RecordBatch(self._schema, self._slab[:count][index])
+            if self._aux is not None:
+                self._drained_aux = self._aux[:count][index]
             self._count = 0
             return batch, None, count
         count = self._count
@@ -529,6 +601,16 @@ class SampleBuffer:
                 self._rng.shuffle(paired)
                 records = [r for r, _ in paired]
                 weights = [w for _, w in paired]
+            elif self._aux is not None:
+                # Index-order shuffle: Fisher-Yates over an index list
+                # applies the same permutation (and consumes the same
+                # RNG stream) as shuffling the record list directly,
+                # and lets the aux rows ride along in lock-step.
+                order = list(range(count))
+                self._rng.shuffle(order)
+                records = [records[i] for i in order]
+                self._drained_aux = (
+                    self._aux[:count][np.asarray(order, dtype=np.intp)])
             else:
                 records = list(records)
                 self._rng.shuffle(records)
@@ -537,3 +619,19 @@ class SampleBuffer:
         self._weights = [] if self._weights is not None else None
         self._scale = 1.0
         return records, weights, count
+
+    def take_aux(self) -> np.ndarray | None:
+        """Claim the aux rows of the last :meth:`drain` (one shot).
+
+        Returns ``None`` for aux-free buffers; otherwise the aux rows
+        permuted identically to the drained records.  Consumes no
+        randomness either way, so uniform-law flush cadence is
+        untouched by the aux machinery.
+        """
+        if self._aux is None:
+            return None
+        drained = self._drained_aux
+        if drained is None:
+            raise ValueError("no drained aux rows pending; call drain first")
+        self._drained_aux = None
+        return drained

@@ -22,6 +22,8 @@ import json
 from dataclasses import asdict
 from typing import IO
 
+import numpy as np
+
 from ..storage.device import BlockDevice
 from ..storage.records import Record
 from .biased_file import (
@@ -63,11 +65,16 @@ def _encode_ledger(ledger: SubsampleLedger) -> dict:
         "stack_region": ledger.stack_region,
         "records": None,
         "weights": None,
+        "aux": None,
     }
     if ledger.records is not None:
         state["records"] = [_encode_record(r) for r in ledger.records]
     if ledger.weights is not None:
         state["weights"] = list(ledger.weights)
+    if ledger.aux is not None:
+        # json handles +-Infinity natively, so A-ExpJ's -inf log keys
+        # round-trip without special casing.
+        state["aux"] = ledger.aux.tolist()
     return state
 
 
@@ -89,6 +96,9 @@ def _decode_ledger(state: dict, schema=None) -> SubsampleLedger:
     ledger.records = records
     ledger.weights = (list(state["weights"])
                       if state["weights"] is not None else None)
+    aux = state.get("aux")
+    ledger.aux = (np.asarray(aux, dtype=np.float64)
+                  if aux else None)
     ledger.stack_balance = state["stack_balance"]
     ledger.stack_capacity = state["stack_capacity"]
     ledger.overflowed = False
@@ -118,10 +128,13 @@ def save_geometric_file(gf: GeometricFile | MultipleGeometricFiles,
     """
     buffer_records = None
     buffer_weights = None
+    buffer_aux = None
     if gf.buffer.retains_records:
         buffer_records = [_encode_record(r) for r in gf.buffer]
         if gf.buffer._weights is not None:
             buffer_weights = gf.buffer.weights()
+        if gf.buffer.aux_width:
+            buffer_aux = gf.buffer.aux_view().tolist()
     state = {
         "version": FORMAT_VERSION,
         "kind": type(gf).__name__,
@@ -135,6 +148,8 @@ def save_geometric_file(gf: GeometricFile | MultipleGeometricFiles,
         "buffer_count": gf.buffer.count,
         "buffer_records": buffer_records,
         "buffer_weights": buffer_weights,
+        "buffer_aux": buffer_aux,
+        "law_state": gf._law.state_dict(),
         "rng_state": _encode_py_rng(gf._rng.getstate()),
         "np_rng_state": _encode_np_rng(gf._np_rng),
     }
@@ -200,10 +215,11 @@ def load_geometric_file(source: IO[str], device: BlockDevice,
         gf.overflow_events = state["overflow_events"]
     elif kind == "GeometricFile":
         config = GeometricFileConfig(**state["config"])
-        gf = GeometricFile(device, config, seed=0)
+        gf = GeometricFile(device, config, seed=0, weight_fn=weight_fn)
     elif kind == "MultipleGeometricFiles":
         config = MultiFileConfig(**state["config"])
-        gf = MultipleGeometricFiles(device, config, seed=0)
+        gf = MultipleGeometricFiles(device, config, seed=0,
+                                    weight_fn=weight_fn)
     else:
         raise ValueError(f"unknown checkpoint kind {kind!r}")
 
@@ -226,13 +242,19 @@ def load_geometric_file(source: IO[str], device: BlockDevice,
         gf.subsamples = [_decode_ledger(s, ledger_schema)
                          for s in state["ledgers"]]
     if state["buffer_records"] is not None:
+        buffer_aux = state.get("buffer_aux")
         for index, fields in enumerate(state["buffer_records"]):
             weight = None
             if state["buffer_weights"] is not None:
                 weight = state["buffer_weights"][index]
-            gf.buffer.append(_decode_record(fields), weight=weight)
+            aux = buffer_aux[index] if buffer_aux is not None else None
+            gf.buffer.append(_decode_record(fields), weight=weight,
+                             aux=aux)
     else:
         gf.buffer.append_count(state["buffer_count"])
+    law_state = state.get("law_state")
+    if law_state is not None:
+        gf._law.restore_state(law_state)
     gf._rng.setstate(_decode_py_rng(state["rng_state"]))
     _restore_np_rng(gf._np_rng, state["np_rng_state"])
     gf.checkpoint_meta = state.get("meta")

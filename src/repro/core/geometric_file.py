@@ -38,6 +38,7 @@ from ..reservoir import (
     VictimScratch,
     draw_victim_counts_array,
 )
+from ..sampling.laws import LAW_NAMES, make_law
 from ..storage.device import (
     BlockDevice,
     SimulatedBlockDevice,
@@ -99,6 +100,15 @@ class GeometricFileConfig:
             model the CPU fill time a pipelined flush can hide on the
             simulated timeline; ``None`` models an instantaneous
             stream (no overlap credit).
+        law: the sampling law maintained over the file -- one of
+            :data:`~repro.sampling.laws.LAW_NAMES` (``"uniform"``,
+            ``"aexpj"``, ``"wr"``, ``"window"``).  Non-uniform laws
+            supersede ``admission`` and require record retention (the
+            victims are chosen by content).  See docs/SAMPLING_LAWS.md.
+        law_params: plain ``(key, value)`` pairs parameterising the
+            law (e.g. ``(("window", 50_000),)`` or
+            ``(("weight", "value"),)``); kept as data so configs
+            survive ``asdict`` / JSON / pickle round trips.
     """
 
     capacity: int
@@ -113,12 +123,28 @@ class GeometricFileConfig:
     pipeline: bool = False
     io_scheduler: str = "fifo"
     stream_rate: float | None = None
+    law: str = "uniform"
+    law_params: tuple = ()
 
     def __post_init__(self) -> None:
         if self.columnar and not self.retain_records:
             # Columnar mode *is* a record-retention mode; forcing the
             # flag keeps every existing retain_records check truthful.
             object.__setattr__(self, "retain_records", True)
+        if self.law not in LAW_NAMES:
+            raise ValueError(f"unknown sampling law {self.law!r}; "
+                             f"expected one of {LAW_NAMES}")
+        # JSON/asdict round trips turn the pairs into nested lists;
+        # normalise back to hashable tuple-of-tuples.
+        if not isinstance(self.law_params, tuple) or any(
+                not isinstance(pair, tuple) for pair in self.law_params):
+            object.__setattr__(
+                self, "law_params",
+                tuple(tuple(pair) for pair in self.law_params))
+        if self.law != "uniform" and not self.retain_records:
+            raise ValueError(
+                f"law {self.law!r} picks victims by record content; "
+                "set retain_records=True (or columnar=True)")
         if self.buffer_capacity < 2:
             raise ValueError("buffer must hold at least two records")
         if self.capacity <= self.buffer_capacity:
@@ -160,14 +186,19 @@ class GeometricFile(StreamReservoir):
             :meth:`required_blocks` big.
         config: sizing; ``alpha`` is derived via Lemma 1.
         seed: RNG seed for all randomized steps.
+        weight_fn: optional weight callable for the weighted laws,
+            overriding the picklable ``("weight", ...)`` spec in
+            ``config.law_params``.  Ignored by the uniform law.
     """
 
     name = "geo file"
 
     def __init__(self, device: BlockDevice, config: GeometricFileConfig,
-                 *, seed: int | None = 0) -> None:
+                 *, seed: int | None = 0, weight_fn=None) -> None:
+        law = make_law(config.law, config.law_params, weight_fn=weight_fn)
+        law.validate_config(config)
         super().__init__(config.capacity, admission=config.admission,
-                         seed=seed)
+                         seed=seed, law=law)
         self.device = device
         self.config = config
         self.schema = RecordSchema(config.record_size)
@@ -193,7 +224,8 @@ class GeometricFile(StreamReservoir):
                                    retain_records=config.retain_records,
                                    np_rng=self._np_rng,
                                    schema=(self.schema if config.columnar
-                                           else None))
+                                           else None),
+                                   aux_width=law.aux_width)
         #: Encode real segment payloads only when the device can hand
         #: them back; cost-only devices keep the write_zeros charge.
         self._store_bytes = (config.columnar
@@ -231,11 +263,19 @@ class GeometricFile(StreamReservoir):
         return getattr(self.device, "clock", 0.0)
 
     def _stats_extra(self) -> dict:
-        return {
+        extra = {
             "alpha": self.alpha,
             "n_subsamples": self.n_subsamples,
             "stack_overflows": self.stack_overflows,
         }
+        if not self._law.is_uniform:
+            extra["law"] = {"name": self._law.name,
+                            **self._law.stats_extra()}
+        return extra
+
+    def iter_ledgers(self):
+        """All live subsample ledgers, materialisation order (law hook)."""
+        return iter(self.subsamples)
 
     @property
     def in_startup(self) -> bool:
@@ -273,14 +313,8 @@ class GeometricFile(StreamReservoir):
         self.flush_barrier()
         if not self.config.retain_records:
             raise TypeError("file is running in count-only mode")
-        combined: list[Record] = []
-        for ledger in self.subsamples:
-            combined.extend(ledger.records or ())
-        pending = list(self.buffer)
-        if self.in_startup:
-            return self._thin_records(combined + pending, k, rng)
-        full = self.apply_pending(combined, pending,
-                                  rng if rng is not None else self._rng)
+        full = self._law.materialize(
+            self, rng if rng is not None else self._rng)
         return self._thin_records(full, k, rng)
 
     def sample_batch(self, k: int | None = None, *, rng=None) -> RecordBatch:
@@ -303,19 +337,7 @@ class GeometricFile(StreamReservoir):
                 raise TypeError("file is running in count-only mode")
             return super().sample_batch(k, rng=rng)
         gen = rng if rng is not None else self._np_rng
-        dtype = self.schema.dtype
-        parts = [ledger.records.array for ledger in self.subsamples
-                 if ledger.records is not None and len(ledger.records)]
-        pending = self.buffer.pending_view()
-        if self.in_startup:
-            if len(pending):
-                parts = parts + [pending]
-            combined = (np.concatenate(parts) if parts
-                        else np.empty(0, dtype=dtype))
-        else:
-            combined = (np.concatenate(parts) if parts
-                        else np.empty(0, dtype=dtype))
-            combined = self.apply_pending_batch(combined, pending, gen)
+        combined = self._law.materialize_batch(self, gen)
         return self._thin_batch(RecordBatch(self.schema, combined), k, rng)
 
     @property
@@ -342,80 +364,29 @@ class GeometricFile(StreamReservoir):
 
     # -- StreamReservoir hooks ------------------------------------------------
 
+    # The law owns placement (startup joins, Algorithm 2 replacement,
+    # multiplicity fan-out, aux staging); these hooks only route.  The
+    # uniform law's place* bodies are the pre-refactor code verbatim.
+
     def _admit(self, record: Record | None) -> None:
-        if self.in_startup:
-            self.buffer.append(record)
-            if self.buffer.count >= self._startup_sizes[self._startup_index]:
-                self._startup_flush()
-            return
-        self.buffer.add_admitted(record, self.capacity)
-        if self.buffer.is_full:
-            self._flush()
+        self._law.place(self, record)
 
     def _admit_many(self, records: list[Record | None]) -> None:
-        # Batch form of _admit: start-up slices join the buffer in one
-        # list extension per flush target; steady state hands whole
-        # sub-batches to the buffer's vectorised absorb, flushing
-        # whenever it reports the buffer full.  Same flush boundaries
-        # and record-level distribution as the per-record loop.
-        i = 0
-        n = len(records)
-        while i < n:
-            if self.in_startup:
-                target = self._startup_sizes[self._startup_index]
-                take = min(n - i, target - self.buffer.count)
-                self.buffer.extend(records[i:i + take])
-                i += take
-                if self.buffer.count >= target:
-                    self._startup_flush()
-            else:
-                i += self.buffer.absorb_many(records, self.capacity,
-                                             start=i)
-                if self.buffer.is_full:
-                    self._flush()
+        self._law.place_many(self, records)
 
     def _admit_batch(self, batch: RecordBatch) -> None:
-        # Columnar twin of _admit_many: start-up slices land as one
-        # slab slice copy, steady state as the buffer's vectorised
-        # absorb_batch.  Same flush boundaries, same admission law.
         if not self.columnar:
             super()._admit_batch(batch)
             return
-        i = 0
-        n = len(batch)
-        while i < n:
-            if self.in_startup:
-                target = self._startup_sizes[self._startup_index]
-                take = min(n - i, target - self.buffer.count)
-                self.buffer.extend_batch(batch[i:i + take])
-                i += take
-                if self.buffer.count >= target:
-                    self._startup_flush()
-            else:
-                i += self.buffer.absorb_batch(batch, self.capacity,
-                                              start=i)
-                if self.buffer.is_full:
-                    self._flush()
+        self._law.place_batch(self, batch)
 
     def _admit_count(self, n: int) -> None:
-        # Count-only fast path: the in-buffer replacement branch
-        # (probability <= B/N per admission) is folded into joins; this
-        # shifts flush cadence by under B/(2N) and leaves every I/O
-        # pattern untouched.  The record-level path models it exactly.
-        while n > 0:
-            if self.in_startup:
-                target = self._startup_sizes[self._startup_index]
-            else:
-                target = self.buffer.capacity
-            room = target - self.buffer.count
-            take = min(n, room)
-            self.buffer.append_count(take)
-            n -= take
-            if self.buffer.count >= target:
-                if self.in_startup:
-                    self._startup_flush()
-                else:
-                    self._flush()
+        # Count-only fast path (uniform law only): the in-buffer
+        # replacement branch (probability <= B/N per admission) is
+        # folded into joins; this shifts flush cadence by under B/(2N)
+        # and leaves every I/O pattern untouched.  The record-level
+        # path models it exactly.
+        self._law.place_count(self, n)
 
     # -- flush machinery -------------------------------------------------------
 
@@ -423,12 +394,14 @@ class GeometricFile(StreamReservoir):
         """Write one initial subsample (Figure 3 a-c)."""
         level = self._startup_index
         records, weights, count = self.buffer.drain()
+        aux = self.buffer.take_aux()
         sizes = list(self.ladder.segment_sizes[level:])
         while sizes and sum(sizes) > count:
             sizes.pop()
         tail = count - sum(sizes)
         ledger = self._new_ledger(sizes, level, tail, records)
         ledger.weights = weights
+        ledger.aux = aux
         self.subsamples.insert(0, ledger)
         for offset in range(len(sizes)):
             ledger.push_slot(self._layout.take_slot(level + offset))
@@ -453,7 +426,18 @@ class GeometricFile(StreamReservoir):
     def _flush(self) -> None:
         """Steady-state flush: Algorithm 3 plus the Section 4.5 mechanics."""
         records, weights, count = self.buffer.drain()
-        self._evict_victims(count)
+        aux = self.buffer.take_aux()
+        if self._law.uniform_victims:
+            self._evict_victims(count)
+            new_victims = None
+        else:
+            # The law names the dead by content (keys/positions); it
+            # evicts from old ledgers itself and returns which of the
+            # drained records die -- they are still written physically
+            # (every segment holds its full quota) and booked as ghost
+            # stack debt on the new ledger, exactly like a uniform
+            # eviction outrunning the segment cascade.
+            new_victims = self._law.plan_victims(self, records, aux, count)
         plan = FlushPlan()
         freed_slots = self._release_all_segments(plan)
         ledger = self._new_ledger(
@@ -461,6 +445,7 @@ class GeometricFile(StreamReservoir):
             records,
         )
         ledger.weights = weights
+        ledger.aux = aux
         self.subsamples.insert(0, ledger)
         offset = 0
         for level, size in enumerate(self.ladder.segment_sizes):
@@ -475,6 +460,8 @@ class GeometricFile(StreamReservoir):
                 data = records[offset:offset + size].to_bytes()
             self._write_slot(level, slot, size, data, plan)
             offset += size
+        if new_victims is not None and len(new_victims):
+            ledger.evict_indices(new_victims)
         self._drop_dead_subsamples()
         self._submit_plan(plan, count)
         self.flushes += 1

@@ -102,9 +102,15 @@ class ManagedSample:
                 f"no checkpoint at {self.path!r} and no config to "
                 "create a fresh structure from"
             )
-        elif weight_fn is not None:
+        elif kind.startswith("biased"):
             self.structure = cls(device_factory(), config, weight_fn,
                               seed=seed)
+        elif weight_fn is not None:
+            # Plain kinds take weight_fn as a keyword: it parameterises
+            # the configured sampling law (config.law), not a biased
+            # multiplier scheme.
+            self.structure = cls(device_factory(), config, seed=seed,
+                                 weight_fn=weight_fn)
         else:
             self.structure = cls(device_factory(), config, seed=seed)
         self._checkpointed_flushes = self.structure.flushes

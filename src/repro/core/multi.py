@@ -43,6 +43,7 @@ from ..reservoir import (
     VictimScratch,
     draw_victim_counts_array,
 )
+from ..sampling.laws import make_law
 from ..storage.device import (
     BlockDevice,
     SimulatedBlockDevice,
@@ -101,9 +102,11 @@ class MultipleGeometricFiles(StreamReservoir):
     name = "multiple geo files"
 
     def __init__(self, device: BlockDevice, config: MultiFileConfig,
-                 *, seed: int | None = 0) -> None:
+                 *, seed: int | None = 0, weight_fn=None) -> None:
+        law = make_law(config.law, config.law_params, weight_fn=weight_fn)
+        law.validate_config(config)
         super().__init__(config.capacity, admission=config.admission,
-                         seed=seed)
+                         seed=seed, law=law)
         self.device = device
         self.config = config
         self.schema = RecordSchema(config.record_size)
@@ -126,7 +129,8 @@ class MultipleGeometricFiles(StreamReservoir):
                                    retain_records=config.retain_records,
                                    np_rng=self._np_rng,
                                    schema=(self.schema if config.columnar
-                                           else None))
+                                           else None),
+                                   aux_width=law.aux_width)
         self._store_bytes = (config.columnar
                              and device_stores_bytes(device))
         self._victim_scratch = VictimScratch()
@@ -190,13 +194,17 @@ class MultipleGeometricFiles(StreamReservoir):
         return getattr(self.device, "clock", 0.0)
 
     def _stats_extra(self) -> dict:
-        return {
+        extra = {
             "alpha": self.alpha,
             "alpha_prime": self.alpha_prime,
             "n_files": self.n_files,
             "n_subsamples": self.n_subsamples,
             "stack_overflows": self.stack_overflows,
         }
+        if not self._law.is_uniform:
+            extra["law"] = {"name": self._law.name,
+                            **self._law.stats_extra()}
+        return extra
 
     @property
     def in_startup(self) -> bool:
@@ -216,20 +224,19 @@ class MultipleGeometricFiles(StreamReservoir):
         for file in self.files:
             yield from file.subsamples
 
+    def iter_ledgers(self):
+        """All live ledgers across files, materialisation order (law
+        hook)."""
+        return self._all_ledgers()
+
     def sample(self, k: int | None = None, *, rng=None) -> list[Record]:
         """Current reservoir contents; see
         :meth:`~repro.core.geometric_file.GeometricFile.sample`."""
         self.flush_barrier()
         if not self.config.retain_records:
             raise TypeError("files are running in count-only mode")
-        combined: list[Record] = []
-        for ledger in self._all_ledgers():
-            combined.extend(ledger.records or ())
-        pending = list(self.buffer)
-        if self.in_startup:
-            return self._thin_records(combined + pending, k, rng)
-        full = self.apply_pending(combined, pending,
-                                  rng if rng is not None else self._rng)
+        full = self._law.materialize(
+            self, rng if rng is not None else self._rng)
         return self._thin_records(full, k, rng)
 
     def sample_batch(self, k: int | None = None, *, rng=None) -> RecordBatch:
@@ -241,19 +248,7 @@ class MultipleGeometricFiles(StreamReservoir):
                 raise TypeError("files are running in count-only mode")
             return super().sample_batch(k, rng=rng)
         gen = rng if rng is not None else self._np_rng
-        dtype = self.schema.dtype
-        parts = [ledger.records.array for ledger in self._all_ledgers()
-                 if ledger.records is not None and len(ledger.records)]
-        pending = self.buffer.pending_view()
-        if self.in_startup:
-            if len(pending):
-                parts = parts + [pending]
-            combined = (np.concatenate(parts) if parts
-                        else np.empty(0, dtype=dtype))
-        else:
-            combined = (np.concatenate(parts) if parts
-                        else np.empty(0, dtype=dtype))
-            combined = self.apply_pending_batch(combined, pending, gen)
+        combined = self._law.materialize_batch(self, gen)
         return self._thin_batch(RecordBatch(self.schema, combined), k, rng)
 
     @property
@@ -281,73 +276,26 @@ class MultipleGeometricFiles(StreamReservoir):
 
     # -- StreamReservoir hooks ------------------------------------------------
 
+    # Placement routes through the law (see GeometricFile): the
+    # multi-file's admit/flush boundaries are shape-identical to the
+    # single file's, so the same law place* bodies drive both.
+
     def _admit(self, record: Record | None) -> None:
-        if self.in_startup:
-            self.buffer.append(record)
-            if self.buffer.count >= self._startup_sizes[self._startup_index]:
-                self._startup_flush()
-            return
-        self.buffer.add_admitted(record, self.capacity)
-        if self.buffer.is_full:
-            self._flush()
+        self._law.place(self, record)
 
     def _admit_many(self, records: list[Record | None]) -> None:
-        # Same batching as GeometricFile._admit_many: list extension
-        # during start-up, vectorised absorb in steady state, flushing
-        # at exactly the per-record boundaries.
-        i = 0
-        n = len(records)
-        while i < n:
-            if self.in_startup:
-                target = self._startup_sizes[self._startup_index]
-                take = min(n - i, target - self.buffer.count)
-                self.buffer.extend(records[i:i + take])
-                i += take
-                if self.buffer.count >= target:
-                    self._startup_flush()
-            else:
-                i += self.buffer.absorb_many(records, self.capacity,
-                                             start=i)
-                if self.buffer.is_full:
-                    self._flush()
+        self._law.place_many(self, records)
 
     def _admit_batch(self, batch: RecordBatch) -> None:
-        # Columnar twin of _admit_many; see GeometricFile._admit_batch.
         if not self.columnar:
             super()._admit_batch(batch)
             return
-        i = 0
-        n = len(batch)
-        while i < n:
-            if self.in_startup:
-                target = self._startup_sizes[self._startup_index]
-                take = min(n - i, target - self.buffer.count)
-                self.buffer.extend_batch(batch[i:i + take])
-                i += take
-                if self.buffer.count >= target:
-                    self._startup_flush()
-            else:
-                i += self.buffer.absorb_batch(batch, self.capacity,
-                                              start=i)
-                if self.buffer.is_full:
-                    self._flush()
+        self._law.place_batch(self, batch)
 
     def _admit_count(self, n: int) -> None:
         # Same count-only simplification as the single file: in-buffer
         # replacements are folded into joins (see GeometricFile).
-        while n > 0:
-            if self.in_startup:
-                target = self._startup_sizes[self._startup_index]
-            else:
-                target = self.buffer.capacity
-            take = min(n, target - self.buffer.count)
-            self.buffer.append_count(take)
-            n -= take
-            if self.buffer.count >= target:
-                if self.in_startup:
-                    self._startup_flush()
-                else:
-                    self._flush()
+        self._law.place_count(self, n)
 
     # -- flush machinery --------------------------------------------------------
 
@@ -357,12 +305,14 @@ class MultipleGeometricFiles(StreamReservoir):
         file = self.files[c % self.n_files]
         level = c // self.n_files
         records, weights, count = self.buffer.drain()
+        aux = self.buffer.take_aux()
         sizes = list(self.ladder.segment_sizes[level:])
         while sizes and sum(sizes) > count:
             sizes.pop()
         tail = count - sum(sizes)
         ledger = self._new_ledger(sizes, level, tail, records)
         ledger.weights = weights
+        ledger.aux = aux
         file.subsamples.insert(0, ledger)
         for offset in range(len(sizes)):
             ledger.push_slot(file.layout.take_slot(level + offset))
@@ -387,7 +337,15 @@ class MultipleGeometricFiles(StreamReservoir):
     def _flush(self) -> None:
         """Steady-state flush into the round-robin target file."""
         records, weights, count = self.buffer.drain()
-        self._evict_victims(count)
+        aux = self.buffer.take_aux()
+        if self._law.uniform_victims:
+            self._evict_victims(count)
+            new_victims = None
+        else:
+            # Content-chosen victims (see GeometricFile._flush): old
+            # ledgers are culled here, the drained victims after the
+            # segment writes below.
+            new_victims = self._law.plan_victims(self, records, aux, count)
         file = self.files[self.flushes % self.n_files]
         # New subsample lands in the dummy's slots (Figure 6 b).
         ledger = self._new_ledger(
@@ -395,6 +353,7 @@ class MultipleGeometricFiles(StreamReservoir):
             records,
         )
         ledger.weights = weights
+        ledger.aux = aux
         file.subsamples.insert(0, ledger)
         plan = FlushPlan()
         offset = 0
@@ -426,6 +385,8 @@ class MultipleGeometricFiles(StreamReservoir):
             else file.layout.take_slot(level)
             for level in range(self.ladder.n_disk_segments)
         ]
+        if new_victims is not None and len(new_victims):
+            ledger.evict_indices(new_victims)
         # Dead (fully-decayed) subsamples in the written file are
         # dropped now; ones in other files wait for their file's turn
         # -- a zero-live ledger draws zero victims, so keeping it an

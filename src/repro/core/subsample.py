@@ -38,6 +38,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable
 
+import numpy as np
+
 from ..storage.records import Record
 
 if TYPE_CHECKING:
@@ -110,6 +112,10 @@ class SubsampleLedger:
         #: Effective weights parallel to ``records`` (biased sampling,
         #: Section 7.3.1); trimmed in lock-step by :meth:`evict`.
         self.weights: list[float] | None = None
+        #: Auxiliary float64 rows parallel to ``records`` (non-uniform
+        #: sampling laws: keys, stream positions); trimmed in lock-step
+        #: by :meth:`evict` / :meth:`evict_indices`.
+        self.aux = None
         #: Signed: records in the stack region (+) or ghost debt (-).
         self.stack_balance = 0
         self._slots: list[int] = []
@@ -181,6 +187,11 @@ class SubsampleLedger:
                 f"subsample {self.ident}: {len(self.records)} records "
                 f"for live={self.live}"
             )
+        if self.aux is not None and len(self.aux) != self.live:
+            raise AssertionError(
+                f"subsample {self.ident}: {len(self.aux)} aux rows "
+                f"for live={self.live}"
+            )
 
     # -- slot bookkeeping ---------------------------------------------------
 
@@ -220,6 +231,51 @@ class SubsampleLedger:
             del self.records[len(self.records) - k:]
         if self.weights is not None:
             del self.weights[len(self.weights) - k:]
+        if self.aux is not None:
+            self.aux = self.aux[:len(self.aux) - k]
+        if self._head < len(self._sizes):
+            self.stack_balance -= k
+        else:
+            self._shrink_tail_only(k)
+
+    def evict_indices(self, indices) -> None:
+        """Remove specific live records by index (non-uniform laws).
+
+        Uniform eviction pops a count from the end of an exchangeable
+        sequence; key-based laws name their victims instead.  The
+        stack-balance booking is identical -- only *how many* records
+        died matters to the physical layout; *which* ones is purely a
+        logical-sample concern tracked through ``records`` / ``aux``.
+        Ghost debt semantics carry over unchanged: victims may still
+        sit inside not-yet-released segments.
+        """
+        victims = np.asarray(indices, dtype=np.intp)
+        k = int(victims.shape[0])
+        if k == 0:
+            return
+        if k > self.live:
+            raise ValueError(
+                f"evicting {k} from subsample {self.ident} with only "
+                f"{self.live} live records"
+            )
+        if self.records is None:
+            raise TypeError("evict_indices needs retained records")
+        keep = np.ones(len(self.records), dtype=bool)
+        keep[victims] = False
+        if keep.sum() != self.live - k:
+            raise ValueError("eviction indices must be distinct and in "
+                             "range")
+        self.live -= k
+        if isinstance(self.records, list):
+            self.records = [r for r, alive in zip(self.records, keep)
+                            if alive]
+        else:  # RecordBatch
+            self.records = self.records.take(np.flatnonzero(keep))
+        if self.weights is not None:
+            self.weights = [w for w, alive in zip(self.weights, keep)
+                            if alive]
+        if self.aux is not None:
+            self.aux = self.aux[keep]
         if self._head < len(self._sizes):
             self.stack_balance -= k
         else:

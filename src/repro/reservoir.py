@@ -230,17 +230,26 @@ class StreamReservoir(abc.ABC):
         seed: RNG seed; drives both the ``random.Random`` used for
             per-record decisions and the numpy generator used for
             batched draws.
+        law: the :class:`~repro.sampling.laws.SamplingLaw` owning every
+            admission decision; ``None`` means the paper's uniform law
+            (whose method bodies are the pre-refactor code verbatim,
+            so default construction is bit-exact with older builds).
+            Non-uniform laws supersede ``admission``.
     """
 
     #: Short name used in benchmark tables ("geo file", "scan", ...).
     name: str = "reservoir"
 
     def __init__(self, capacity: int, *, admission: AdmissionMode = "always",
-                 seed: int | None = 0) -> None:
+                 seed: int | None = 0, law=None) -> None:
         if capacity < 1:
             raise ValueError("capacity must be at least 1")
         if admission not in ("always", "uniform"):
             raise ValueError(f"unknown admission mode {admission!r}")
+        if law is None:
+            from .sampling.laws import UniformLaw
+            law = UniformLaw()
+        self._law = law
         self.capacity = capacity
         self.admission = admission
         self._rng = random.Random(seed)
@@ -474,6 +483,11 @@ class StreamReservoir(abc.ABC):
         structure's own streams -- an instrumented twin stays bit-exact.
         Idempotent: a second call returns the existing cache.
         """
+        if not self._law.is_uniform:
+            raise TypeError(
+                f"AQP hot cache assumes a uniform stream sample; "
+                f"law {self._law.name!r} maintains a different "
+                "distribution")
         if self._hot is None:
             from .estimate.planner import HotSubsample
             schema = getattr(self, "schema", None)
@@ -493,13 +507,18 @@ class StreamReservoir(abc.ABC):
 
     # -- ingestion ---------------------------------------------------------
 
+    @property
+    def law(self):
+        """The :class:`~repro.sampling.laws.SamplingLaw` in charge."""
+        return self._law
+
     def offer(self, record: Record) -> None:
         """Present one stream record (record-level exact path)."""
         self._check_engine()
         self._seen += 1
         if self._hot is not None:
             self._hot.observe(record)
-        if self._admits_current():
+        if self._law.admit(self, record):
             self._samples_added += 1
             self._admit(record)
 
@@ -532,14 +551,7 @@ class StreamReservoir(abc.ABC):
         first = self._seen + 1
         last = self._seen + n
         self._seen = last
-        if self.admission == "always" or last <= self.capacity:
-            admitted = records if isinstance(records, list) else list(records)
-        else:
-            positions = np.arange(first, last + 1, dtype=np.float64)
-            mask = (self._np_rng.random(n) * positions) < self.capacity
-            if first <= self.capacity:
-                mask[:self.capacity - first + 1] = True
-            admitted = [records[i] for i in np.flatnonzero(mask)]
+        admitted = self._law.select_many(self, records, first, last)
         if admitted:
             self._samples_added += len(admitted)
             self._admit_many(admitted)
@@ -577,18 +589,17 @@ class StreamReservoir(abc.ABC):
         first = self._seen + 1
         last = self._seen + n
         self._seen = last
-        if self.admission == "always" or last <= self.capacity:
-            admitted = batch
-        else:
-            positions = np.arange(first, last + 1, dtype=np.float64)
-            mask = (self._np_rng.random(n) * positions) < self.capacity
-            if first <= self.capacity:
-                mask[:self.capacity - first + 1] = True
-            admitted = batch.take(np.flatnonzero(mask))
+        admitted = self._law.select_batch(self, batch, first, last)
         count = len(admitted)
         if count:
             self._samples_added += count
-            self._admit_batch(admitted)
+            if isinstance(admitted, RecordBatch):
+                self._admit_batch(admitted)
+            else:
+                # Record-decoding laws hand back a plain list; route it
+                # through the object batch hook.
+                self._admit_many(admitted if isinstance(admitted, list)
+                                 else list(admitted))
         return count
 
     def _admit_batch(self, batch) -> None:
@@ -691,19 +702,18 @@ class StreamReservoir(abc.ABC):
         if self._hot is not None:
             self._hot.observe_count(n)
         self._seen += n
-        if self.admission == "always":
-            admitted = n
-        else:
-            admitted = self._count_uniform_admissions(n)
+        admitted = self._law.select_count(self, n)
         if admitted:
             self._samples_added += admitted
             self._admit_count(admitted)
 
     def _admits_current(self) -> bool:
-        """Admission decision for the record at position ``self._seen``."""
-        if self.admission == "always" or self._seen <= self.capacity:
-            return True
-        return self._rng.random() * self._seen < self.capacity
+        """Admission decision for the record at position ``self._seen``.
+
+        Back-compat shim; the law owns the decision now.  Only valid
+        for laws whose admission ignores record content (uniform).
+        """
+        return self._law.admit(self, None)
 
     # -- protected feeder API -----------------------------------------------
     #

@@ -4,11 +4,22 @@ geometric file builds on (paper Sections 3.1 and 7.2)."""
 from .biased_reservoir import BiasedReservoir
 from .deletions import RandomPairingReservoir
 from .feeder import feed_stream
+from .laws import (
+    LAW_NAMES,
+    AExpJLaw,
+    SamplingLaw,
+    SlidingWindowLaw,
+    UniformLaw,
+    WeightedReplacementLaw,
+    make_law,
+    reference_for,
+)
 from .reservoir import ReservoirSample, sample_without_replacement
 from .skip import SkipReservoir, ZSkipper, gaps_z, skip_count_x
 from .weights import (
     WeightFunction,
     clamped,
+    exp_jump_keys,
     exponential_recency,
     linear_recency,
     uniform_weight,
@@ -16,17 +27,26 @@ from .weights import (
 )
 
 __all__ = [
+    "AExpJLaw",
     "BiasedReservoir",
+    "LAW_NAMES",
     "RandomPairingReservoir",
     "ReservoirSample",
+    "SamplingLaw",
     "SkipReservoir",
+    "SlidingWindowLaw",
+    "UniformLaw",
     "WeightFunction",
+    "WeightedReplacementLaw",
     "ZSkipper",
     "clamped",
+    "exp_jump_keys",
     "exponential_recency",
     "feed_stream",
     "gaps_z",
     "linear_recency",
+    "make_law",
+    "reference_for",
     "sample_without_replacement",
     "skip_count_x",
     "uniform_weight",

@@ -84,6 +84,13 @@ def feed_stream(stream: Iterable[Record], reservoir: StreamReservoir,
             "skip feeding implements the uniform N/i admission law; "
             "construct the reservoir with admission='uniform'"
         )
+    law = getattr(reservoir, "_law", None)
+    if law is not None and not law.is_uniform:
+        raise ValueError(
+            "skip feeding draws gaps from the uniform N/i law; a "
+            f"reservoir running law={law.name!r} must see every record "
+            "(use offer_many/offer_batch)"
+        )
     if batch_size < 1:
         raise ValueError("batch_size must be at least 1")
     if batch_size > 1 and isinstance(stream, Sequence):

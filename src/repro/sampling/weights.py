@@ -22,9 +22,48 @@ from __future__ import annotations
 import math
 from typing import Callable
 
+import numpy as np
+
 from ..storage.records import Record
 
 WeightFunction = Callable[[Record], float]
+
+
+def exp_jump_keys(weights, rng: np.random.Generator) -> np.ndarray:
+    """Vectorised Efraimidis-Spirakis key draws, in log domain.
+
+    A weighted-without-replacement sample of size ``N`` is exactly the
+    ``N`` records with the largest keys ``u**(1/w)`` with
+    ``u ~ Uniform(0, 1]`` (Efraimidis & Spirakis 2006).  This kernel
+    draws one key per weight in a single numpy pass and returns
+    ``log(u)/w`` -- the log of the key, a strictly monotone transform,
+    so "largest key" comparisons are unchanged while tiny
+    ``u**(1/w)`` values for heavy batches never underflow.
+
+    Both :class:`~repro.sampling.laws.AExpJLaw` (the dense
+    below-threshold path) and the in-memory reference implementation
+    draw their keys through this one kernel, so the equivalence suite
+    exercises a single key law, not two copies.
+
+    Args:
+        weights: positive per-record weights (any array-like).
+        rng: a ``numpy.random.Generator``; consumes exactly
+            ``len(weights)`` uniforms.
+
+    Returns:
+        ``float64`` array of log-keys in ``(-inf, 0]``.
+
+    Raises:
+        ValueError: if any weight is not strictly positive.
+    """
+    w = np.asarray(weights, dtype=np.float64)
+    if w.ndim != 1:
+        raise ValueError("weights must be one-dimensional")
+    if w.size and not np.all(w > 0):
+        raise ValueError("weights must be strictly positive")
+    # 1 - U maps [0, 1) onto (0, 1]: log never sees an exact zero.
+    u = 1.0 - rng.random(w.shape[0])
+    return np.log(u) / w
 
 
 def uniform_weight(record: Record) -> float:

@@ -84,6 +84,34 @@ def merge_shard_samples(rng: np.random.Generator,
     return [merged[i] for i in order]
 
 
+def merge_weighted_samples(rng: np.random.Generator,
+                           payloads: Sequence[dict],
+                           k: int) -> list[Record]:
+    """Merge *keyed* (A-ExpJ) shard replies: global top-``k`` by key.
+
+    A record's ``log(u)/w`` key is drawn from the record alone, never
+    from the reservoir holding it, so keys rank records across
+    independent shards; the union stream's A-ExpJ sample is exactly
+    the ``k`` largest keys in the concatenated replies.  Workers rank
+    their replies best key first and trim to ``min(k, size)``, which
+    always covers the shard's contribution to the global top-``k``
+    when ``k`` is at most one shard's capacity (the same bound the
+    uniform merge documents).  The final shuffle only removes the key
+    ranking from the returned order; the selected *set* is
+    deterministic given the replies.
+    """
+    records: list[Record] = []
+    keys: list[float] = []
+    for payload in payloads:
+        records.extend(payload["records"])
+        keys.extend(payload["keys"])
+    take = min(k, len(records))
+    top = np.argsort(np.asarray(keys), kind="stable")[::-1][:take]
+    merged = [records[int(i)] for i in top]
+    order = rng.permutation(len(merged))
+    return [merged[i] for i in order]
+
+
 def merge_shard_batches(rng: np.random.Generator,
                         payloads: Sequence[dict], k: int, schema):
     """Columnar :func:`merge_shard_samples`: one ``RecordBatch`` out.

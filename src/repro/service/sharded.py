@@ -40,7 +40,11 @@ from ..storage.device import DeviceSpec
 from ..storage.disk_model import DiskParameters
 from ..storage.recordbatch import RecordBatch
 from ..storage.records import Record, RecordSchema
-from .merge import merge_shard_batches, merge_shard_samples
+from .merge import (
+    merge_shard_batches,
+    merge_shard_samples,
+    merge_weighted_samples,
+)
 from .partition import make_partitioner
 from .pool import InlinePool, ProcessPool, ShardDead
 from .spec import ShardSpec, shard_directory
@@ -139,6 +143,10 @@ class ShardedReservoir:
             for i in range(shards)
         ]
         self._partitioner = make_partitioner(partition, shards)
+        # Non-uniform shard laws reply with key-ranked samples; the
+        # merge is then a global top-k by key, not the hypergeometric
+        # allocation (ShardSpec has already vetted the law).
+        self._keyed_merge = getattr(config, "law", "uniform") != "uniform"
         self._merge_rng = np.random.default_rng(
             np.random.SeedSequence([(seed or 0) & 0xFFFFFFFF, 0x4D]))
         # Per-shard: journal of unacknowledged journaled messages,
@@ -245,6 +253,10 @@ class ShardedReservoir:
             raise RuntimeError("service is closed")
         if n < 0:
             raise ValueError("cannot ingest a negative count")
+        if self._keyed_merge:
+            raise TypeError(
+                "count-only ingest() is uniform-law only; a weighted "
+                "shard law needs every record's weight")
         if self._hot is not None:
             self._hot.observe_count(n)
         for shard_id, count in enumerate(self._partitioner.split_count(n)):
@@ -260,6 +272,14 @@ class ShardedReservoir:
         hypergeometric allocation can land the whole draw on one
         shard, so no larger ``k`` is safe under every partition)."""
         return self.config.capacity if k is None else k
+
+    def _merge_samples(self, payloads: list[dict], k: int) -> list[Record]:
+        """Law-appropriate merge of shard ``sample`` replies: the
+        hypergeometric allocation for uniform shards, the global
+        top-``k``-by-key rank for keyed (A-ExpJ) shards."""
+        if self._keyed_merge:
+            return merge_weighted_samples(self._merge_rng, payloads, k)
+        return merge_shard_samples(self._merge_rng, payloads, k)
 
     def sample(self, k: int | None = None) -> list[Record]:
         """A uniform random ``k``-subset of the whole union stream.
@@ -278,7 +298,7 @@ class ShardedReservoir:
         """
         k = self._resolve_k(k)
         payloads = self._broadcast_query("sample", k)
-        merged = merge_shard_samples(self._merge_rng, payloads, k)
+        merged = self._merge_samples(payloads, k)
         self._emit("merged_query", k=k,
                    seen=sum(p["seen"] for p in payloads))
         return merged
@@ -288,7 +308,7 @@ class ShardedReservoir:
         (the population size AQP estimators scale by)."""
         k = self._resolve_k(k)
         payloads = self._broadcast_query("sample", k)
-        merged = merge_shard_samples(self._merge_rng, payloads, k)
+        merged = self._merge_samples(payloads, k)
         seen = sum(p["seen"] for p in payloads)
         self._emit("merged_query", k=k, seen=seen)
         return merged, seen
@@ -302,18 +322,23 @@ class ShardedReservoir:
         """
         k = self._resolve_k(k)
         payloads = self._broadcast_query("sample", k)
-        merged = merge_shard_batches(self._merge_rng, payloads, k,
-                                     self._schema)
+        merged = self._merge_batches(payloads, k)
         self._emit("merged_query", k=k,
                    seen=sum(p["seen"] for p in payloads))
         return merged
+
+    def _merge_batches(self, payloads: list[dict], k: int) -> RecordBatch:
+        if self._keyed_merge:
+            merged = merge_weighted_samples(self._merge_rng, payloads, k)
+            return RecordBatch.from_records(self._schema, merged)
+        return merge_shard_batches(self._merge_rng, payloads, k,
+                                   self._schema)
 
     def snapshot_batch(self, k: int | None = None) -> tuple[RecordBatch, int]:
         """Like :meth:`sample_batch`, also returning the union ``seen``."""
         k = self._resolve_k(k)
         payloads = self._broadcast_query("sample", k)
-        merged = merge_shard_batches(self._merge_rng, payloads, k,
-                                     self._schema)
+        merged = self._merge_batches(payloads, k)
         seen = sum(p["seen"] for p in payloads)
         self._emit("merged_query", k=k, seen=seen)
         return merged, seen
@@ -397,6 +422,11 @@ class ShardedReservoir:
         next escalation (a merged :meth:`snapshot_batch` draw)
         re-seeds it.
         """
+        if self._keyed_merge:
+            raise TypeError(
+                "the hot AQP subsample is a uniform sub-reservoir of "
+                "the union stream; a service running law="
+                f"{self.config.law!r} cannot keep it coherent")
         if self._hot is None:
             from ..estimate.planner import HotSubsample
             base = self._seed if seed is None else seed

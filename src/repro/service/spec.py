@@ -33,6 +33,12 @@ from ..storage.device import DeviceSpec
 #: to hold a *uniform* sample of its partition.
 SHARD_KINDS = ("geometric", "multi")
 
+#: Non-uniform laws a shard may run.  A law qualifies when its samples
+#: merge exactly across independent reservoirs by ranking a shared
+#: per-record key (``SamplingLaw.mergeable_by_key``); A-ExpJ's
+#: ``log(u)/w`` keys are such a ranking, ``wr``/``window`` have none.
+MERGEABLE_LAWS = ("aexpj",)
+
 CHECKPOINT_FILENAME = "checkpoint.json"
 
 
@@ -50,10 +56,12 @@ class ShardSpec:
         directory: the shard's private directory (checkpoint + any
             file-backed device live here).
         kind: ``"geometric"`` or ``"multi"``.
-        config: per-shard structure sizing.  ``admission`` must be
-            ``"uniform"`` -- the service's merged queries are only
-            uniform over the union stream if each shard's reservoir is
-            uniform over its partition.
+        config: per-shard structure sizing.  With the uniform law,
+            ``admission`` must be ``"uniform"`` -- the service's
+            merged queries are only uniform over the union stream if
+            each shard's reservoir is uniform over its partition.
+            Non-uniform laws supersede admission and must come from
+            :data:`MERGEABLE_LAWS` so merged queries stay exact.
         device: how to build the shard's block device (per-shard, so
             ``S`` shards model ``S`` independent spindles).
         seed: RNG seed for a freshly created structure; shards must use
@@ -78,11 +86,20 @@ class ShardSpec:
             raise ValueError(
                 f"shard kind {self.kind!r} not in {SHARD_KINDS}"
             )
-        if self.config.admission != "uniform":
+        law = getattr(self.config, "law", "uniform")
+        if law == "uniform":
+            if self.config.admission != "uniform":
+                raise ValueError(
+                    "shards must run uniform admission; the merged "
+                    "sample is only uniform over the union stream if "
+                    "every shard holds a uniform sample of its partition"
+                )
+        elif law not in MERGEABLE_LAWS:
             raise ValueError(
-                "shards must run uniform admission; the merged sample "
-                "is only uniform over the union stream if every shard "
-                "holds a uniform sample of its partition"
+                f"shards cannot run law {law!r}: merged queries need "
+                "either the uniform hypergeometric merge or a "
+                "key-rankable law (A-ExpJ); 'wr' and 'window' samples "
+                "have no exact distributed merge"
             )
         if self.checkpoint_batches < 1:
             raise ValueError("checkpoint_batches must be at least 1")

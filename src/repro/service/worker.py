@@ -142,6 +142,9 @@ class ShardWorker:
         """
         if k < 0:
             raise ValueError("sample size must be non-negative")
+        law = getattr(self.managed.structure, "_law", None)
+        if law is not None and law.mergeable_by_key:
+            return self._draw_keyed_sample(k, law)
         records = self.managed.sample(rng=self._query_py_rng)
         size = len(records)
         stats = self.managed.stats()
@@ -152,6 +155,27 @@ class ShardWorker:
             "size": size,
             "seq": self.seq,
             "records": [records[i] for i in order],
+        }
+
+    def _draw_keyed_sample(self, k: int, law) -> dict:
+        """Key-ranked reply for mergeable laws (A-ExpJ).
+
+        The records come back best key first with the keys alongside,
+        so any prefix is the shard's top-``j`` and the supervisor's
+        global top-``k`` over the concatenation is the union's exact
+        weighted sample.  No query RNG is consumed: the keyed sample
+        is a deterministic function of reservoir state.
+        """
+        records, keys = law.sample_keyed(self.managed.structure)
+        stats = self.managed.stats()
+        size = len(records)
+        take = min(k, size)
+        return {
+            "seen": stats.seen,
+            "size": size,
+            "seq": self.seq,
+            "records": records[:take],
+            "keys": [float(key) for key in keys[:take]],
         }
 
 

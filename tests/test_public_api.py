@@ -146,6 +146,38 @@ class TestDeprecatedAliases:
         finally:
             service.close()
 
+    def test_sharded_offer_many_warns_exactly_once_per_process(
+            self, tmp_path):
+        """The shim dedupes: the first call warns, every later call is
+        silent (simplefilter('error') would escalate a repeat)."""
+        import warnings
+
+        from repro.core.geometric_file import GeometricFileConfig
+        from repro.service import ShardedReservoir
+        from repro.storage import Record
+
+        self._fresh_warnings()
+        config = GeometricFileConfig(capacity=64, buffer_capacity=16,
+                                     record_size=50, retain_records=True,
+                                     admission="uniform")
+        service = ShardedReservoir(str(tmp_path), config, shards=2,
+                                   pool="inline", seed=7)
+        try:
+            records = [Record(key=i, value=float(i), timestamp=0.0)
+                       for i in range(8)]
+            with pytest.deprecated_call() as captured:
+                service.offer_many(records)
+            assert len(captured.list) == 1
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                admitted = service.offer_many(
+                    [Record(key=8 + i, value=float(i), timestamp=0.0)
+                     for i in range(8)])
+            assert admitted == 8
+            assert service.stats().seen == 16
+        finally:
+            service.close()
+
     def test_cli_alias_flags_warn_and_map_to_report_kinds(self):
         from repro.cli import _resolve_reports, build_parser
 

@@ -11,7 +11,9 @@ from .experiments import (
 from .aqp import aqp_smoke, render_aqp_report
 from .laws import law_smoke, render_law_report
 from .perf import (
+    measure_ipc,
     perf_smoke,
+    render_ipc_report,
     render_report,
     render_shard_report,
     shard_smoke,
@@ -39,10 +41,12 @@ __all__ = [
     "experiment_3",
     "io_summary_table",
     "law_smoke",
+    "measure_ipc",
     "perf_smoke",
     "pipeline_smoke",
     "query_smoke",
     "render_aqp_report",
+    "render_ipc_report",
     "render_law_report",
     "render_pipeline_report",
     "render_query_report",

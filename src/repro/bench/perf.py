@@ -147,6 +147,107 @@ def perf_smoke(*, records: int = DEFAULT_RECORDS,
     return report
 
 
+#: IPC-comparison workload: per-shard reservoir deliberately small so
+#: the transport, not the reservoir arithmetic, dominates wall time.
+IPC_RECORDS = 200_000
+IPC_CAPACITY = 2_000
+IPC_BUFFER = 400
+IPC_K = 2_000
+IPC_REPEATS = 5
+
+
+def _ipc_batches(records: int, batch_size: int):
+    """The columnar ingest workload both transports are fed."""
+    from ..storage.recordbatch import RecordBatch
+    from ..storage.records import RecordSchema
+
+    schema = RecordSchema(50)
+    batches = []
+    for start in range(0, records, batch_size):
+        n = min(batch_size, records - start)
+        keys = list(range(start, start + n))
+        batches.append(RecordBatch.from_columns(
+            schema, keys, values=[float(k % 97) for k in keys]))
+    return batches
+
+
+def _ipc_run(batches, *, shards: int, seed: int, ipc: str, k: int,
+             repeats: int) -> dict:
+    """One cross-process run of the IPC workload on one transport."""
+    from ..core.geometric_file import GeometricFileConfig
+    from ..service import ShardedReservoir
+
+    config = GeometricFileConfig(
+        capacity=IPC_CAPACITY, buffer_capacity=IPC_BUFFER, record_size=50,
+        admission="uniform", retain_records=True)
+    records = sum(len(batch) for batch in batches)
+    with tempfile.TemporaryDirectory(prefix="repro-ipc-bench-") as root:
+        with ShardedReservoir(root, config, shards=shards, pool="process",
+                              partition="round-robin", ipc=ipc,
+                              seed=seed, timeout=120.0) as service:
+            start = time.perf_counter()
+            for batch in batches:
+                service.offer_batch(batch)
+            service.stats()  # drains every inbox: an ingest barrier
+            ingest = time.perf_counter() - start
+            start = time.perf_counter()
+            for _ in range(repeats):
+                service.sample_batch(k)
+            query = (time.perf_counter() - start) / repeats
+            final = service.sample_batch(k)
+            return {
+                "ingest_seconds": round(ingest, 4),
+                "ingest_rps": round(records / max(ingest, 1e-9)),
+                "query_seconds": round(query, 5),
+                "sample_keys": sorted(final.keys.tolist()),
+                "ipc": service.ipc_stats(),
+            }
+
+
+def measure_ipc(*, shards: int = 4, records: int = IPC_RECORDS,
+                batch_size: int = DEFAULT_BATCH, seed: int = 0,
+                k: int = IPC_K, repeats: int = IPC_REPEATS) -> dict:
+    """Queue vs shared-memory transport on the same columnar workload.
+
+    Both runs are fed identical :class:`RecordBatch` streams through
+    real worker processes, so the only difference is how the bytes
+    travel: pickled through ``multiprocessing.Queue`` versus zero-copy
+    slabs over the per-shard shared-memory rings.  ``bit_exact``
+    compares the final merged sample's keys across the two runs -- the
+    transports must be indistinguishable to the sampling math.
+    """
+    from ..service import HAVE_SHM
+
+    if not HAVE_SHM:  # pragma: no cover - shm is baked into CPython
+        return {"skipped": "multiprocessing.shared_memory unavailable"}
+    batches = _ipc_batches(records, batch_size)
+    queue = _ipc_run(batches, shards=shards, seed=seed, ipc="queue",
+                     k=k, repeats=repeats)
+    shm = _ipc_run(batches, shards=shards, seed=seed, ipc="shm",
+                   k=k, repeats=repeats)
+    bit_exact = queue.pop("sample_keys") == shm.pop("sample_keys")
+    return {
+        "config": {
+            "shards": shards,
+            "records": records,
+            "batch_size": batch_size,
+            "capacity_per_shard": IPC_CAPACITY,
+            "buffer_per_shard": IPC_BUFFER,
+            "record_size": 50,
+            "k": k,
+            "query_repeats": repeats,
+            "seed": seed,
+        },
+        "queue": queue,
+        "shm": shm,
+        "ingest_speedup": round(
+            queue["ingest_seconds"] / max(shm["ingest_seconds"], 1e-9), 2),
+        "query_speedup": round(
+            queue["query_seconds"] / max(shm["query_seconds"], 1e-9), 2),
+        "bit_exact": bit_exact,
+    }
+
+
 def _shard_config(spec: ExperimentSpec, shards: int):
     """Per-shard sizing: the smoke reservoir split ``shards`` ways.
 
@@ -166,7 +267,7 @@ def _shard_config(spec: ExperimentSpec, shards: int):
 
 def _run_sharded(spec: ExperimentSpec, shards: int, *, records: int,
                  batch_size: int, pool: str, queue_depth: int,
-                 measure_recovery: bool) -> dict:
+                 measure_recovery: bool, ipc: str = "shm") -> dict:
     """Drive one ShardedReservoir over the stream; returns its row."""
     from ..service import ShardedReservoir
 
@@ -175,7 +276,7 @@ def _run_sharded(spec: ExperimentSpec, shards: int, *, records: int,
     with tempfile.TemporaryDirectory(prefix="repro-shard-bench-") as root:
         with ShardedReservoir(root, config, shards=shards, pool=pool,
                               partition="round-robin",
-                              queue_depth=queue_depth,
+                              queue_depth=queue_depth, ipc=ipc,
                               seed=spec.seed) as service:
             start = time.perf_counter()
             done = 0
@@ -214,7 +315,8 @@ def _run_sharded(spec: ExperimentSpec, shards: int, *, records: int,
 
 def shard_smoke(*, shards: int = 4, records: int = DEFAULT_RECORDS,
                 batch_size: int = DEFAULT_BATCH, seed: int = 0,
-                pool: str = "process", queue_depth: int = 8) -> dict:
+                pool: str = "process", queue_depth: int = 8,
+                ipc: str = "shm") -> dict:
     """Single-shard vs ``shards``-way ingest at the smoke configuration.
 
     Reports wall-clock *and* simulated-disk throughput.  The headline
@@ -223,17 +325,24 @@ def shard_smoke(*, shards: int = 4, records: int = DEFAULT_RECORDS,
     (:func:`repro.obs.aggregate_stats`), so the simulated speedup
     measures the parallelism of the sharded layout itself, independent
     of how many CPU cores the benchmark host happens to have.
+
+    ``ipc`` picks the process pool's data-plane transport for the main
+    runs; with a process pool the report additionally carries an
+    ``"ipc"`` section benchmarking *both* transports head to head on a
+    columnar workload (see :func:`measure_ipc`), so one entry point
+    produces the queue-baseline and shared-memory numbers together.
     """
     if shards < 2:
         raise ValueError("the shard benchmark needs at least 2 shards")
     spec = experiment_1(scale=0, seed=seed)
     single = _run_sharded(spec, 1, records=records, batch_size=batch_size,
                           pool=pool, queue_depth=queue_depth,
-                          measure_recovery=False)
+                          measure_recovery=False, ipc=ipc)
     sharded = _run_sharded(spec, shards, records=records,
                            batch_size=batch_size, pool=pool,
-                           queue_depth=queue_depth, measure_recovery=True)
-    return {
+                           queue_depth=queue_depth, measure_recovery=True,
+                           ipc=ipc)
+    report = {
         "benchmark": "sharded ingest smoke",
         "config": {
             "capacity_total": spec.capacity,
@@ -244,6 +353,7 @@ def shard_smoke(*, shards: int = 4, records: int = DEFAULT_RECORDS,
             "shards": shards,
             "pool": pool,
             "queue_depth": queue_depth,
+            "ipc": ipc,
             "seed": seed,
         },
         "single": single,
@@ -251,6 +361,10 @@ def shard_smoke(*, shards: int = 4, records: int = DEFAULT_RECORDS,
         "sim_speedup": round(sharded["sim_rps"] / single["sim_rps"], 2),
         "wall_speedup": round(sharded["wall_rps"] / single["wall_rps"], 2),
     }
+    if pool == "process":
+        report["ipc"] = measure_ipc(shards=shards, batch_size=batch_size,
+                                    seed=seed)
+    return report
 
 
 def render_shard_report(report: dict) -> str:
@@ -280,6 +394,40 @@ def render_shard_report(report: dict) -> str:
     for row in sharded["per_shard"]:
         lines.append(f"  {row['shard']:<8} {row['seen']:>10,} "
                      f"{row['sim_rps']:>12,} {row['sim_clock']:>9.2f}s")
+    ipc = report.get("ipc")
+    if ipc and "skipped" not in ipc:
+        lines.append("")
+        lines.append(render_ipc_report(ipc))
+    return "\n".join(lines)
+
+
+def render_ipc_report(report: dict) -> str:
+    """Human-readable table of the measure_ipc report dict."""
+    if "skipped" in report:
+        return f"ipc comparison skipped: {report['skipped']}"
+    config = report["config"]
+    queue, shm = report["queue"], report["shm"]
+    stats = shm["ipc"]
+    lines = [
+        f"ipc plane (queue vs shm, {config['shards']} shards, "
+        f"{config['records']:,} records, k={config['k']})",
+        "",
+        f"  {'transport':<10} {'ingest':>10} {'ingest rps':>12} "
+        f"{'query':>10}",
+        f"  {'queue':<10} {queue['ingest_seconds']:>9.2f}s "
+        f"{queue['ingest_rps']:>12,} "
+        f"{queue['query_seconds'] * 1000:>8.1f}ms",
+        f"  {'shm':<10} {shm['ingest_seconds']:>9.2f}s "
+        f"{shm['ingest_rps']:>12,} "
+        f"{shm['query_seconds'] * 1000:>8.1f}ms",
+        "",
+        f"  ingest speedup: {report['ingest_speedup']:.1f}x"
+        f"   query speedup: {report['query_speedup']:.1f}x"
+        f"   bit-exact: {report['bit_exact']}",
+        f"  zero-copy bytes: {stats['zero_copy_bytes']:,}"
+        f"   fallback slabs: {stats['fallback_slabs']}"
+        f"   ring stalls: {stats['ring_stalls']}",
+    ]
     return "\n".join(lines)
 
 

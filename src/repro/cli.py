@@ -12,7 +12,8 @@ Benchmark reports all hang off one repeatable flag::
 
 with KIND one of ``ingest`` (batch-ingest throughput), ``query``
 (columnar query/AQP), ``pipeline`` (flush overlap + elevator),
-``shard`` (sharded-service ingest; honours ``--shards`` / ``--pool``),
+``shard`` (sharded-service ingest; honours ``--shards`` / ``--pool`` /
+``--ipc``, and benchmarks both IPC transports head to head),
 ``serve`` (client/server load over the asyncio front-end), ``aqp``
 (the tiered planner's cache-hit speedup / hit-rate / bit-exactness
 gates), and ``law`` (the sampling-law engine: uniform twin parity and
@@ -35,7 +36,7 @@ Examples::
     repro-bench fig7a --scale 0 --metrics - --trace /tmp/trace.jsonl
     repro-bench --report ingest --batch-size 4096
     repro-bench --report ingest --report query=/tmp/q.json
-    repro-bench --report shard --shards 4 --pool process
+    repro-bench --report shard --shards 4 --pool process --ipc shm
     repro-bench serve --report serve
 """
 
@@ -127,6 +128,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="worker harness for --report shard: real "
                              "worker processes or the deterministic "
                              "in-process pool (default: process)")
+    parser.add_argument("--ipc", choices=("shm", "queue"),
+                        default="shm",
+                        help="process-pool data-plane transport for "
+                             "--report shard: zero-copy shared-memory "
+                             "slab rings or pickled queues (default: "
+                             "shm; the report's ipc section benchmarks "
+                             "both either way)")
     parser.add_argument("--seed", type=int, default=0,
                         help="RNG seed (default: 0)")
     parser.add_argument("--only", action="append", default=None,
@@ -209,6 +217,7 @@ def _run_report(kind: str, args: argparse.Namespace) -> tuple[dict, str]:
     if kind == "shard":
         sized["shards"] = 4 if args.shards is None else args.shards
         sized["pool"] = args.pool
+        sized["ipc"] = args.ipc
         report = shard_smoke(**sized)
         return report, render_shard_report(report)
     if kind == "serve":

@@ -49,6 +49,9 @@ EVENT_KINDS = (
     # and a query escalated to a right-sized disk draw.
     "aqp_cache_hit",
     "aqp_escalate",
+    # Shared-memory IPC plane (repro.service.shm / pool): one columnar
+    # slab moved zero-copy over a shard's ring, in either direction.
+    "ipc_slab",
 )
 
 

@@ -35,10 +35,12 @@ from .partition import (
 )
 from .pool import InlinePool, ProcessPool, ShardDead
 from .sharded import ShardedReservoir, default_device_spec
+from .shm import HAVE_SHM, SlabRing, TornSlabError
 from .spec import SHARD_KINDS, ShardSpec, shard_directory
 from .worker import ShardWorker, SimulatedCrash, worker_main
 
 __all__ = [
+    "HAVE_SHM",
     "HashPartitioner",
     "InlinePool",
     "ProcessPool",
@@ -49,6 +51,8 @@ __all__ = [
     "ShardWorker",
     "ShardedReservoir",
     "SimulatedCrash",
+    "SlabRing",
+    "TornSlabError",
     "allocate_counts",
     "default_device_spec",
     "make_partitioner",

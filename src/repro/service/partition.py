@@ -25,6 +25,9 @@ partitioning, so crash recovery never re-runs a partitioner.
 
 from __future__ import annotations
 
+import numpy as np
+
+from ..storage.recordbatch import RecordBatch
 from ..storage.records import Record
 
 
@@ -40,6 +43,18 @@ def mix64(value: int) -> int:
     value = (value ^ (value >> 27)) * 0x94D049BB133111EB
     value &= 0xFFFFFFFFFFFFFFFF
     return value ^ (value >> 31)
+
+
+def mix64_array(values) -> np.ndarray:
+    """Vectorised :func:`mix64` over a key column.
+
+    Bit-identical to the scalar mix for every input (two's-complement
+    int64 keys reinterpret as uint64, exactly like the Python mask).
+    """
+    v = np.asarray(values).astype(np.uint64)
+    v = (v ^ (v >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    v = (v ^ (v >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return v ^ (v >> np.uint64(31))
 
 
 class RoundRobinPartitioner:
@@ -61,6 +76,20 @@ class RoundRobinPartitioner:
             parts[index].append(record)
             index = (index + 1) % self.shards
         self._next = index
+        return parts
+
+    def split_batch(self, batch: RecordBatch) -> list[RecordBatch]:
+        """Columnar :meth:`split`: one boolean-mask select per shard.
+
+        Routing (and rotation-counter advance) is identical to feeding
+        ``list(batch)`` through :meth:`split`; sub-batches preserve
+        stream order, so per-shard ingestion is order-identical too.
+        """
+        n = len(batch)
+        assign = (np.arange(n, dtype=np.int64) + self._next) % self.shards
+        parts = [RecordBatch(batch.schema, batch.array[assign == s])
+                 for s in range(self.shards)]
+        self._next = (self._next + n) % self.shards
         return parts
 
     def split_count(self, n: int) -> list[int]:
@@ -97,6 +126,21 @@ class HashPartitioner(RoundRobinPartitioner):
                 index = (index + 1) % shards
         self._next = index
         return parts
+
+    def split_batch(self, batch: RecordBatch) -> list[RecordBatch]:
+        """Columnar :meth:`split`: vectorised key mix, one mask per shard.
+
+        Weighted batches decode to :class:`WeightedRecord` rows, which
+        the list path round-robins (they are not ``Record`` instances),
+        so the columnar path does the same for exact routing parity.
+        """
+        if batch.schema.weighted:
+            return super().split_batch(batch)
+        assign = mix64_array(batch.keys) % np.uint64(self.shards)
+        # No rotation advance: the list path only advances on non-Record
+        # (count-only) entries, which a batch never carries.
+        return [RecordBatch(batch.schema, batch.array[assign == s])
+                for s in range(self.shards)]
 
 
 _PARTITIONERS = {

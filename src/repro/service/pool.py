@@ -10,10 +10,27 @@ the variant tier-1 tests exercise, with crashes simulated by dropping
 the worker object (its checkpoint file on disk is all that survives,
 exactly as for a killed process).
 
-Both pools expose the same surface: ``send`` / ``recv`` / ``drain`` /
-``alive`` / ``kill`` / ``respawn`` / ``close``.  Death is reported as
-:class:`ShardDead`, which the supervisor treats as the recovery
-trigger; the pools themselves never touch checkpoints or journals.
+Both pools expose the same surface: ``send`` / ``recv`` / ``try_recv``
+/ ``drain`` / ``alive`` / ``kill`` / ``respawn`` / ``close``.  Death is
+reported as :class:`ShardDead`, which the supervisor treats as the
+recovery trigger; the pools themselves never touch checkpoints or
+journals.
+
+Transports.  :class:`ProcessPool` moves messages over pickling
+``multiprocessing.Queue``\\ s; with ``ipc="shm"`` it adds a data plane:
+one inbound and one outbound :class:`~repro.service.shm.SlabRing` per
+shard, over which :class:`~repro.storage.recordbatch.RecordBatch`
+payloads travel as zero-copy slabs.  Every slab is paired with a tiny
+*stub* message on the queue -- the queue keeps its total FIFO order
+(control commands can never overtake in-flight batches) and both sides
+are FIFO, so the k-th stub always describes the k-th ring frame.  The
+control plane (checkpoint, crash, stop, acks) never touches the rings;
+a slab too large for its ring falls back to the pickled queue path
+(``RecordBatch`` is picklable precisely for this), so correctness is
+transport-independent.  Waits are adaptive (sub-millisecond floor,
+doubling to a bounded ceiling) instead of the old fixed 50 ms poll,
+and all measured waiting is surfaced (``send_wait_seconds`` /
+``recv_wait_seconds``) for the supervisor's stall accounting.
 """
 
 from __future__ import annotations
@@ -23,11 +40,46 @@ import queue as queue_module
 import time
 from collections import deque
 
+from ..storage.recordbatch import RecordBatch
+from ..storage.records import RecordSchema
+from .shm import (
+    DEFAULT_RING_BYTES,
+    FLAG_WEIGHTED,
+    HAVE_SHM,
+    KIND_DATA,
+    SlabRing,
+    TornSlabError,
+)
 from .spec import ShardSpec
 from .worker import ShardWorker, SimulatedCrash, worker_main
 
-#: Granularity of the liveness checks inside blocking queue operations.
-_POLL_SECONDS = 0.05
+#: Adaptive wait bounds: first retry after half a millisecond, backing
+#: off by doubling to the old poll granularity.  Small-batch latency
+#: stops quantizing at 50 ms while idle waits stay as cheap as before.
+_WAIT_FLOOR = 0.0005
+_WAIT_CEIL = 0.05
+
+
+class _AdaptiveWait:
+    """Escalating timeout generator with measured total wait."""
+
+    __slots__ = ("current", "waited")
+
+    def __init__(self) -> None:
+        self.current = _WAIT_FLOOR
+        self.waited = 0.0
+
+    def step(self) -> float:
+        """The timeout to use for the next blocking attempt."""
+        t = self.current
+        self.current = min(t * 2.0, _WAIT_CEIL)
+        return t
+
+    def sleep(self) -> None:
+        """Sleep one step (for ring waits, which have no timeout arg)."""
+        t = self.step()
+        time.sleep(t)
+        self.waited += t
 
 
 class ShardDead(RuntimeError):
@@ -49,6 +101,15 @@ class InlinePool:
     """
 
     is_process_backed = False
+    #: Inline workers share the caller's heap: a ``RecordBatch`` batch
+    #: payload needs no serialisation, so the columnar scatter is safe.
+    supports_batches = True
+    ipc = "inline"
+    zero_copy_bytes = 0
+    fallback_slabs = 0
+    ring_stalls = 0
+    send_wait_seconds = 0.0
+    recv_wait_seconds = 0.0
 
     def __init__(self, specs: list[ShardSpec]) -> None:
         self.specs = list(specs)
@@ -70,6 +131,10 @@ class InlinePool:
 
     def queue_depth(self, shard_id: int) -> int:
         """Pending commands (always 0: inline execution is immediate)."""
+        return 0
+
+    def ring_depth(self, shard_id: int) -> int:
+        """Bytes in flight on the shard's rings (always 0 inline)."""
         return 0
 
     def send(self, shard_id: int, message: tuple) -> int:
@@ -95,6 +160,15 @@ class InlinePool:
             raise ShardDead(shard_id, "no reply and worker gone")
         raise queue_module.Empty(
             f"shard {shard_id} has no pending replies")
+
+    def try_recv(self, shard_id: int) -> tuple | None:
+        """Non-blocking :meth:`recv`; ``None`` when nothing is ready."""
+        outbox = self._outboxes[shard_id]
+        if outbox:
+            return outbox.popleft()
+        if not self.alive(shard_id):
+            raise ShardDead(shard_id, "no reply and worker gone")
+        return None
 
     def drain(self, shard_id: int) -> list[tuple]:
         """Pop every buffered reply (late acks before a respawn)."""
@@ -127,35 +201,76 @@ class ProcessPool:
         start_method: multiprocessing start method; ``None`` uses the
             platform default (``fork`` on Linux, which inherits the
             parent's imports instead of re-importing them).
+        ipc: ``"shm"`` adds the shared-memory slab data plane (one
+            ring pair per shard); ``"queue"`` keeps every payload on
+            the pickling queues.  ``"shm"`` degrades to ``"queue"``
+            automatically where shared memory is unavailable.
+        ring_bytes: per-direction ring capacity in bytes (shm only).
+            A slab that can never fit rides the queue instead; ring
+            occupancy is backpressure exactly like a full inbox.
     """
 
     is_process_backed = True
 
     def __init__(self, specs: list[ShardSpec], *, queue_depth: int = 8,
-                 start_method: str | None = None) -> None:
+                 start_method: str | None = None, ipc: str = "queue",
+                 ring_bytes: int = DEFAULT_RING_BYTES) -> None:
         if queue_depth < 1:
             raise ValueError("queue_depth must be at least 1")
+        if ipc not in ("queue", "shm"):
+            raise ValueError(f"unknown ipc transport {ipc!r}")
         self.specs = list(specs)
         self.queue_bound = queue_depth
+        self.ipc = ipc if (ipc == "queue" or HAVE_SHM) else "queue"
+        self.supports_batches = self.ipc == "shm"
+        self.ring_bytes = ring_bytes
+        self.zero_copy_bytes = 0
+        self.fallback_slabs = 0
+        self.ring_stalls = 0
+        self.send_wait_seconds = 0.0
+        self.recv_wait_seconds = 0.0
+        #: Optional observer called once per slab moved over a ring,
+        #: with ``direction``/``bytes``/``records`` keywords; the
+        #: supervisor wires it to its ``ipc_slab`` trace event.
+        self.trace_hook = None
         self._ctx = (multiprocessing.get_context(start_method)
                      if start_method else multiprocessing.get_context())
+        self._schemas: dict[int, RecordSchema] = {
+            spec.shard_id: spec.schema for spec in self.specs
+        }
         self._inboxes: dict[int, object] = {}
         self._outboxes: dict[int, object] = {}
         self._processes: dict[int, object] = {}
+        self._in_rings: dict[int, SlabRing] = {}
+        self._out_rings: dict[int, SlabRing] = {}
+        #: Per-shard local reply buffer in front of the outbox queue:
+        #: each wakeup slurps *every* ready reply out of the queue in
+        #: one pass (batched harvesting) instead of paying one queue
+        #: round-trip per reply.
+        self._buffers: dict[int, deque] = {
+            spec.shard_id: deque() for spec in self.specs
+        }
         for spec in self.specs:
             self._start(spec)
 
     def _start(self, spec: ShardSpec) -> None:
+        shard_id = spec.shard_id
         inbox = self._ctx.Queue(maxsize=self.queue_bound)
         outbox = self._ctx.Queue()
+        ring_names = None
+        if self.ipc == "shm":
+            self._in_rings[shard_id] = SlabRing(capacity=self.ring_bytes)
+            self._out_rings[shard_id] = SlabRing(capacity=self.ring_bytes)
+            ring_names = (self._in_rings[shard_id].name,
+                          self._out_rings[shard_id].name)
         process = self._ctx.Process(
-            target=worker_main, args=(spec, inbox, outbox),
+            target=worker_main, args=(spec, inbox, outbox, ring_names),
             name=f"repro-shard-{spec.shard_id}", daemon=True,
         )
         process.start()
-        self._inboxes[spec.shard_id] = inbox
-        self._outboxes[spec.shard_id] = outbox
-        self._processes[spec.shard_id] = process
+        self._inboxes[shard_id] = inbox
+        self._outboxes[shard_id] = outbox
+        self._processes[shard_id] = process
 
     def alive(self, shard_id: int) -> bool:
         process = self._processes.get(shard_id)
@@ -168,24 +283,139 @@ class ProcessPool:
         except NotImplementedError:  # pragma: no cover - macOS qsize
             return -1
 
+    def ring_depth(self, shard_id: int) -> int:
+        """Bytes currently in flight on the shard's rings (0 for queue
+        transport); feeds the supervisor's ring-depth gauge."""
+        depth = 0
+        ring = self._in_rings.get(shard_id)
+        if ring is not None:
+            depth += ring.used_bytes
+        ring = self._out_rings.get(shard_id)
+        if ring is not None:
+            depth += ring.used_bytes
+        return depth
+
+    # -- sending ------------------------------------------------------------
+
     def send(self, shard_id: int, message: tuple) -> int:
         """Deliver one command, blocking under backpressure.
 
-        Returns the number of full-queue stalls endured -- the
-        supervisor surfaces the total as a backpressure metric.  Raises
-        :class:`ShardDead` if the worker dies while we wait.
+        Returns the number of full-queue (or full-ring) stalls endured
+        -- the supervisor surfaces the total as a backpressure metric.
+        Raises :class:`ShardDead` if the worker dies while we wait.
         """
+        if (self.ipc == "shm" and message[0] == "batch"
+                and isinstance(message[2], RecordBatch)):
+            return self._send_slab(shard_id, message)
+        return self._send_queue(shard_id, message)
+
+    def _send_queue(self, shard_id: int, message: tuple) -> int:
         inbox = self._inboxes[shard_id]
         stalls = 0
+        wait = _AdaptiveWait()
         while True:
+            started = time.monotonic()
             try:
-                inbox.put(message, timeout=_POLL_SECONDS)
+                inbox.put(message, timeout=wait.step())
                 return stalls
             except queue_module.Full:
+                self.send_wait_seconds += time.monotonic() - started
                 stalls += 1
                 if not self.alive(shard_id):
                     raise ShardDead(
                         shard_id, "died with a full inbox") from None
+
+    def _send_slab(self, shard_id: int, message: tuple) -> int:
+        """Ship one ``("batch", seq, RecordBatch)`` over the ring.
+
+        Frame first, stub second: a stub on the queue therefore always
+        implies a published frame.  Ring-full waits count as
+        backpressure stalls exactly like a full inbox; a batch the ring
+        can never hold falls back to the pickled queue path.
+        """
+        _, seq, batch = message
+        ring = self._in_rings[shard_id]
+        n_bytes = len(batch) * batch.schema.record_size
+        if not ring.fits(n_bytes):
+            self.fallback_slabs += 1
+            return self._send_queue(shard_id, message)
+        stalls = 0
+        wait = _AdaptiveWait()
+        while True:
+            view = ring.try_reserve(n_bytes)
+            if view is not None:
+                break
+            stalls += 1
+            self.ring_stalls += 1
+            if not self.alive(shard_id):
+                raise ShardDead(
+                    shard_id, "died with a full slab ring") from None
+            wait.sleep()
+        self.send_wait_seconds += wait.waited
+        batch.into_shared(view)
+        flags = FLAG_WEIGHTED if batch.schema.weighted else 0
+        ring.commit(KIND_DATA, seq, flags=flags, n_records=len(batch),
+                    n_bytes=n_bytes)
+        self.zero_copy_bytes += n_bytes
+        if self.trace_hook is not None:
+            self.trace_hook(direction="ingest", shard=shard_id,
+                            bytes=n_bytes, records=len(batch))
+        return stalls + self._send_queue(
+            shard_id, ("batch_slab", seq, len(batch)))
+
+    # -- receiving ----------------------------------------------------------
+
+    def _translate(self, shard_id: int, reply: tuple) -> tuple:
+        """Resolve a slab stub into the full reply it stands for.
+
+        Must run at queue-dequeue time, in dequeue order: stubs and
+        frames advance in lockstep, so the frame for this stub is by
+        construction the oldest unconsumed frame on the outbound ring.
+        """
+        if reply[0] != "sample_slab":
+            return reply
+        _, _, token, meta = reply
+        ring = self._out_rings[shard_id]
+        wait = _AdaptiveWait()
+        while True:
+            try:
+                slab = ring.try_pop()
+            except TornSlabError as exc:
+                raise ShardDead(shard_id, f"torn reply slab: {exc}")
+            if slab is not None:
+                break
+            # The worker publishes the frame before the stub, so this
+            # spin only covers cross-process store visibility.
+            if not self.alive(shard_id):
+                raise ShardDead(shard_id, "reply slab never arrived")
+            wait.sleep()
+        self.recv_wait_seconds += wait.waited
+        schema = self._schemas[shard_id]
+        if slab.weighted is not schema.weighted:  # pragma: no cover
+            ring.pop_done(slab)
+            raise ShardDead(shard_id, "reply slab schema mismatch")
+        batch = RecordBatch.from_shared(schema, slab.view,
+                                        slab.n_records).copy()
+        n_bytes = slab.n_bytes
+        ring.pop_done(slab)
+        self.zero_copy_bytes += n_bytes
+        if self.trace_hook is not None:
+            self.trace_hook(direction="reply", shard=shard_id,
+                            bytes=n_bytes, records=len(batch))
+        payload = dict(meta)
+        payload["records"] = batch
+        return ("sample", shard_id, token, payload)
+
+    def _slurp(self, shard_id: int) -> None:
+        """Move every ready outbox reply into the local buffer."""
+        outbox = self._outboxes[shard_id]
+        buffer = self._buffers[shard_id]
+        while True:
+            try:
+                reply = outbox.get_nowait()
+            except queue_module.Empty:
+                return
+            buffer.append(self._translate(shard_id, reply))
 
     def recv(self, shard_id: int, timeout: float | None = None) -> tuple:
         """Next reply from the shard.
@@ -194,36 +424,68 @@ class ProcessPool:
         outbox is exhausted, or ``TimeoutError`` when the worker is
         alive but silent past ``timeout`` seconds.
         """
+        buffer = self._buffers[shard_id]
+        if buffer:
+            return buffer.popleft()
         outbox = self._outboxes[shard_id]
         deadline = None if timeout is None else time.monotonic() + timeout
+        wait = _AdaptiveWait()
         while True:
+            started = time.monotonic()
             try:
-                return outbox.get(timeout=_POLL_SECONDS)
+                reply = outbox.get(timeout=wait.step())
             except queue_module.Empty:
+                self.recv_wait_seconds += time.monotonic() - started
                 if not self.alive(shard_id):
                     # The pipe may still hold replies written before
                     # death; one final non-blocking sweep.
                     try:
-                        return outbox.get_nowait()
+                        reply = outbox.get_nowait()
                     except queue_module.Empty:
                         raise ShardDead(
                             shard_id, "no reply and worker gone"
                         ) from None
-                if deadline is not None and time.monotonic() > deadline:
+                elif deadline is not None and time.monotonic() > deadline:
                     raise TimeoutError(
                         f"shard {shard_id} sent no reply within "
                         f"{timeout} seconds") from None
+                else:
+                    continue
+            reply = self._translate(shard_id, reply)
+            self._slurp(shard_id)  # batch-harvest whatever else is ready
+            return reply
+
+    def try_recv(self, shard_id: int) -> tuple | None:
+        """Non-blocking :meth:`recv`; ``None`` when nothing is ready.
+
+        The scatter-gather query fan-out polls shards round-robin with
+        this, consuming whichever shard answers first.
+        """
+        buffer = self._buffers[shard_id]
+        if not buffer:
+            self._slurp(shard_id)
+        if buffer:
+            return buffer.popleft()
+        if not self.alive(shard_id):
+            raise ShardDead(shard_id, "no reply and worker gone")
+        return None
 
     def drain(self, shard_id: int) -> list[tuple]:
         """Harvest every buffered reply (e.g. late checkpoint acks
         written just before a crash)."""
-        outbox = self._outboxes[shard_id]
-        drained = []
-        while True:
-            try:
-                drained.append(outbox.get_nowait())
-            except queue_module.Empty:
-                return drained
+        buffer = self._buffers[shard_id]
+        try:
+            self._slurp(shard_id)
+        except ShardDead:
+            # A stub whose frame never arrived (producer died between
+            # frame and stub is impossible, but mid-write tears are
+            # not): keep what translated cleanly, drop the rest.
+            pass
+        drained = list(buffer)
+        buffer.clear()
+        return drained
+
+    # -- lifecycle ----------------------------------------------------------
 
     def kill(self, shard_id: int) -> None:
         """SIGKILL the worker (chaos hook; no checkpoint, no goodbye)."""
@@ -231,12 +493,19 @@ class ProcessPool:
         process.kill()
         process.join(timeout=10)
 
-    def respawn(self, shard_id: int) -> None:
-        """Replace a dead worker with a fresh process and fresh queues.
+    def _discard_rings(self, shard_id: int) -> None:
+        for registry in (self._in_rings, self._out_rings):
+            ring = registry.pop(shard_id, None)
+            if ring is not None:
+                ring.unlink()
 
-        Commands stranded in the old inbox are discarded deliberately:
-        the supervisor's journal is the durable copy and will replay
-        them with their original sequence numbers.
+    def respawn(self, shard_id: int) -> None:
+        """Replace a dead worker with a fresh process, fresh queues,
+        and fresh rings.
+
+        Commands stranded in the old inbox or rings are discarded
+        deliberately: the supervisor's journal is the durable copy and
+        will replay them with their original sequence numbers.
         """
         old = self._processes.get(shard_id)
         if old is not None:
@@ -248,6 +517,8 @@ class ProcessPool:
             if stale is not None:
                 stale.close()
                 stale.cancel_join_thread()
+        self._discard_rings(shard_id)
+        self._buffers[shard_id].clear()
         spec = next(s for s in self.specs if s.shard_id == shard_id)
         self._start(spec)
 
@@ -261,4 +532,6 @@ class ProcessPool:
                 q.close()
                 q.cancel_join_thread()
             registry.clear()
+        for shard_id in list(self._in_rings) + list(self._out_rings):
+            self._discard_rings(shard_id)
         self._processes.clear()

@@ -46,7 +46,8 @@ from .merge import (
     merge_weighted_samples,
 )
 from .partition import make_partitioner
-from .pool import InlinePool, ProcessPool, ShardDead
+from .pool import InlinePool, ProcessPool, ShardDead, _AdaptiveWait
+from .shm import DEFAULT_RING_BYTES
 from .spec import ShardSpec, shard_directory
 
 #: Default patience for a worker reply before the shard is presumed hung.
@@ -100,6 +101,14 @@ class ShardedReservoir:
         timeout: seconds to wait for a worker reply before declaring
             it hung.
         start_method: forwarded to :class:`ProcessPool`.
+        ipc: process-pool data-plane transport -- ``"shm"`` (default)
+            moves :class:`RecordBatch` payloads over zero-copy
+            shared-memory slab rings, ``"queue"`` pickles everything
+            through the queues.  Bit-exact either way (samples,
+            DiskStats, clock); ``"shm"`` degrades to ``"queue"``
+            where shared memory is unavailable.  Ignored inline.
+        ring_bytes: per-direction slab ring capacity (shm only);
+            oversized slabs fall back to the queue path.
     """
 
     name = "sharded service"
@@ -119,6 +128,8 @@ class ShardedReservoir:
         seed: int = 0,
         timeout: float = DEFAULT_TIMEOUT,
         start_method: str | None = None,
+        ipc: str = "shm",
+        ring_bytes: int = DEFAULT_RING_BYTES,
     ) -> None:
         if shards < 1:
             raise ValueError("need at least one shard")
@@ -167,11 +178,13 @@ class ShardedReservoir:
         self._trace = None
         self._obs_name = self.name
         self._event_counters: dict = {}
+        self._ipc_gauges = None
         if pool == "inline":
             self._pool: InlinePool | ProcessPool = InlinePool(self.specs)
         else:
             self._pool = ProcessPool(self.specs, queue_depth=queue_depth,
-                                     start_method=start_method)
+                                     start_method=start_method, ipc=ipc,
+                                     ring_bytes=ring_bytes)
         for shard_id in range(shards):
             self._await_ready(shard_id)
 
@@ -226,6 +239,17 @@ class ShardedReservoir:
         if isinstance(records, RecordBatch):
             if self._hot is not None:
                 self._hot.observe_batch(records)
+            if self._pool.supports_batches:
+                # Columnar scatter: vectorised routing, sub-batches stay
+                # slabs end to end (zero-copy on shm pools, no pickling
+                # inline).  Routing and ingestion are bit-exact with the
+                # decoded list path below.
+                parts = self._partitioner.split_batch(records)
+                for shard_id, part in enumerate(parts):
+                    if len(part):
+                        self._post(shard_id, ("batch", None, part))
+                self._offered += len(records)
+                return len(records)
             records = list(records)
         else:
             if not isinstance(records, (list, tuple)):
@@ -361,6 +385,7 @@ class ShardedReservoir:
         (sums over shards, ``clock`` = slowest shard)."""
         payloads = self._broadcast_query("stats")
         shard_stats = [stats_from_dict(p["stats"]) for p in payloads]
+        self._update_ipc_gauges()
         return aggregate_stats(
             shard_stats, name=self._obs_name,
             extra={
@@ -368,8 +393,25 @@ class ShardedReservoir:
                 "backpressure_stalls": self.backpressure_stalls,
                 "journal_depth": sum(len(j) for j in
                                      self._journal.values()),
+                "ipc": self.ipc_stats(),
             },
         )
+
+    def ipc_stats(self) -> dict:
+        """Transport counters: zero-copy volume, fallbacks, measured
+        waits.  All zero for inline pools (no transport)."""
+        pool = self._pool
+        return {
+            "transport": pool.ipc,
+            "zero_copy_bytes": pool.zero_copy_bytes,
+            "fallback_slabs": pool.fallback_slabs,
+            "ring_stalls": pool.ring_stalls,
+            "send_wait_seconds": round(pool.send_wait_seconds, 6),
+            "recv_wait_seconds": round(pool.recv_wait_seconds, 6),
+            "ring_depth_bytes": sum(
+                pool.ring_depth(shard_id)
+                for shard_id in range(self.shards)),
+        }
 
     def shard_stats(self) -> list[ReservoirStats]:
         """Per-shard snapshots, in shard order."""
@@ -510,6 +552,25 @@ class ShardedReservoir:
         self._registry = registry
         self._trace = trace
         self._event_counters = {}
+        if registry is not None:
+            self._ipc_gauges = (
+                registry.gauge("ipc.ring_depth", structure=self._obs_name),
+                registry.gauge("ipc.zero_copy_bytes",
+                               structure=self._obs_name),
+            )
+        # Per-slab trace events are emitted by the pool itself (it is
+        # the only layer that sees individual slabs move).
+        if trace is not None and getattr(self._pool, "ipc", None) == "shm":
+            self._pool.trace_hook = (
+                lambda **fields: self._emit("ipc_slab", **fields))
+
+    def _update_ipc_gauges(self) -> None:
+        if self._ipc_gauges is None:
+            return
+        depth_gauge, bytes_gauge = self._ipc_gauges
+        depth_gauge.set(sum(self._pool.ring_depth(shard_id)
+                            for shard_id in range(self.shards)))
+        bytes_gauge.set(self._pool.zero_copy_bytes)
 
     def _emit(self, kind: str, **fields) -> None:
         if self._registry is not None:
@@ -644,31 +705,66 @@ class ShardedReservoir:
                    seconds=self.last_recovery_seconds)
 
     def _broadcast_query(self, kind: str, *args) -> list[dict]:
-        """Send one query marker to every shard; gather in shard order.
+        """Parallel scatter-gather: ask every shard, take answers as
+        they land, return payloads in shard order.
 
         Markers are enqueued behind all previously offered batches
         (FIFO per shard), which is what makes the merged answer a
-        consistent snapshot.  A shard dying mid-query is recovered and
-        re-asked with a fresh token.
+        consistent snapshot.  All shards draw *concurrently*; the
+        gather loop polls round-robin with the pool's non-blocking
+        ``try_recv`` and consumes whichever shard finishes first, so
+        the fan-out's wall time is the slowest shard, not the sum.
+        Payloads are ordered by shard id before the merge, keeping the
+        merge RNG consumption identical to a sequential gather.  A
+        shard dying mid-query is recovered and re-asked with a fresh
+        token.
         """
         if self._closed:
             raise RuntimeError("service is closed")
         tokens: dict[int, int] = {}
         for shard_id in range(self.shards):
             tokens[shard_id] = self._send_query(shard_id, kind, args)
-        payloads: list[dict] = []
-        for shard_id in range(self.shards):
-            while True:
+        payloads: dict[int, dict] = {}
+        pending = set(range(self.shards))
+        deadline = {shard_id: time.monotonic() + self.timeout
+                    for shard_id in pending}
+        wait = _AdaptiveWait()
+        while pending:
+            progressed = False
+            for shard_id in sorted(pending):
                 try:
-                    reply = self._collect(shard_id, kind,
-                                          token=tokens[shard_id])
-                    payloads.append(reply[3])
-                    break
+                    reply = self._pool.try_recv(shard_id)
                 except ShardDead:
                     self._recover(shard_id)
                     tokens[shard_id] = self._send_query(shard_id, kind,
                                                         args)
-        return payloads
+                    deadline[shard_id] = time.monotonic() + self.timeout
+                    progressed = True
+                    continue
+                if reply is None:
+                    if time.monotonic() > deadline[shard_id]:
+                        raise TimeoutError(
+                            f"shard {shard_id} sent no {kind!r} reply "
+                            f"within {self.timeout} seconds")
+                    continue
+                progressed = True
+                deadline[shard_id] = time.monotonic() + self.timeout
+                if reply[0] == kind and reply[2] == tokens[shard_id]:
+                    payloads[shard_id] = reply[3]
+                    pending.discard(shard_id)
+                elif self._handle_ack(shard_id, reply):
+                    pass
+                elif reply[0] in ("sample", "stats"):
+                    pass  # stale reply from an abandoned attempt
+                else:
+                    raise RuntimeError(
+                        f"shard {shard_id}: unexpected reply "
+                        f"{reply[0]!r} while waiting for {kind!r}")
+            if progressed:
+                wait = _AdaptiveWait()
+            elif pending:
+                wait.sleep()
+        return [payloads[shard_id] for shard_id in range(self.shards)]
 
     def _send_query(self, shard_id: int, kind: str, args: tuple) -> int:
         while True:

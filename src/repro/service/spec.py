@@ -27,6 +27,7 @@ from ..core.geometric_file import GeometricFileConfig
 from ..core.managed import ManagedSample
 from ..core.multi import MultiFileConfig
 from ..storage.device import DeviceSpec
+from ..storage.records import RecordSchema
 
 #: Structure kinds a shard may run.  Biased kinds are excluded: the
 #: merged-query uniformity argument (docs/SERVICE.md) needs each shard
@@ -107,6 +108,11 @@ class ShardSpec:
     @property
     def checkpoint_path(self) -> str:
         return os.path.join(self.directory, CHECKPOINT_FILENAME)
+
+    @property
+    def schema(self) -> RecordSchema:
+        """The shard's record layout; slab transport en/decodes with it."""
+        return RecordSchema(self.config.record_size)
 
     def _device_factory(self):
         directory = self.directory

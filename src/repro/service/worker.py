@@ -40,9 +40,12 @@ from __future__ import annotations
 
 import os
 import random
+import time
 
 import numpy as np
 
+from ..storage.recordbatch import RecordBatch
+from ..storage.records import Record
 from .spec import ShardSpec
 
 #: Sequence number meaning "nothing applied yet".
@@ -83,7 +86,13 @@ class ShardWorker:
         kind = message[0]
         if kind == "batch":
             _, seq, records = message
-            self.managed.offer_many(records)
+            if isinstance(records, RecordBatch):
+                # Columnar sub-batch (slab or pickled-batch transport);
+                # bit-exact with offer_many over the same records, a
+                # tested twin property of the reservoir.
+                self.managed.offer_batch(records)
+            else:
+                self.managed.offer_many(records)
             return self._applied(seq)
         if kind == "ingest":
             _, seq, count = message
@@ -179,26 +188,120 @@ class ShardWorker:
         }
 
 
-def worker_main(spec: ShardSpec, inbox, outbox) -> None:
+def _pop_batch_slab(ring, schema, seq: int, n_records: int) -> RecordBatch:
+    """Receive the ring frame a ``batch_slab`` stub announced.
+
+    The supervisor publishes the frame before the stub, so the frame
+    is already the oldest on the ring; the brief spin below only
+    covers cross-process store visibility.  The returned batch is a
+    private copy -- the ring slot is released before ingestion runs.
+    """
+    from .shm import TornSlabError
+
+    deadline = time.monotonic() + 10.0
+    while True:
+        slab = ring.try_pop()
+        if slab is not None:
+            break
+        if time.monotonic() > deadline:  # pragma: no cover - defensive
+            raise TornSlabError(
+                f"batch slab for seq {seq} never appeared")
+        time.sleep(0.0002)
+    if slab.seq != seq or slab.n_records != n_records:
+        ring.pop_done(slab)
+        raise TornSlabError(
+            f"slab stream out of step: stub ({seq}, {n_records}) vs "
+            f"frame ({slab.seq}, {slab.n_records})")
+    batch = RecordBatch.from_shared(schema, slab.view, n_records).copy()
+    ring.pop_done(slab)
+    return batch
+
+
+def _slab_reply(ring, schema, reply: tuple) -> tuple:
+    """Route a sample reply's records over the outbound ring if possible.
+
+    Plain-``Record`` payloads are encoded once into the shared record
+    dtype (in *this* process, so encoding parallelises across shards)
+    and replaced by a ``sample_slab`` stub; keyed (A-ExpJ), weighted,
+    or empty payloads -- and slabs the ring cannot take in reasonable
+    time -- stay on the pickled queue path unchanged.
+    """
+    if ring is None or reply[0] != "sample":
+        return reply
+    payload = reply[3]
+    records = payload.get("records")
+    if (not isinstance(records, list) or not records
+            or "keys" in payload or not isinstance(records[0], Record)):
+        return reply
+    batch = RecordBatch.from_records(schema, records)
+    n_bytes = len(batch) * schema.record_size
+    if not ring.fits(n_bytes):
+        return reply
+    deadline = time.monotonic() + 0.25
+    while True:
+        view = ring.try_reserve(n_bytes)
+        if view is not None:
+            break
+        if time.monotonic() > deadline:
+            # A slow supervisor must never deadlock against a blocked
+            # worker: give up on the ring, pickle the reply instead.
+            return reply
+        time.sleep(0.0002)
+    from .shm import KIND_DATA
+
+    batch.into_shared(view)
+    token = reply[2]
+    ring.commit(KIND_DATA, token, n_records=len(batch), n_bytes=n_bytes)
+    meta = {key: value for key, value in payload.items()
+            if key != "records"}
+    return ("sample_slab", reply[1], token, meta)
+
+
+def worker_main(spec: ShardSpec, inbox, outbox, ring_names=None) -> None:
     """Process entry point: build the shard, then serve the inbox.
 
-    ``crash`` exits via ``os._exit`` -- no cleanup, no final
-    checkpoint -- which is the closest a cooperative process gets to a
-    SIGKILL; the supervisor's recovery path cannot tell the difference.
+    ``ring_names`` (inbound, outbound) attaches the shared-memory data
+    plane; ``None`` keeps every payload on the queues.  ``crash``
+    exits via ``os._exit`` -- no cleanup, no final checkpoint -- which
+    is the closest a cooperative process gets to a SIGKILL; the
+    supervisor's recovery path cannot tell the difference.
     """
+    in_ring = out_ring = None
     try:
+        if ring_names is not None:
+            from multiprocessing import resource_tracker
+
+            from .shm import SlabRing
+
+            # A fork child inherits the supervisor's resource tracker
+            # (fd already open): the attach registration is a no-op
+            # there and untracking would corrupt the supervisor's
+            # bookkeeping.  A spawn child starts its own tracker, which
+            # would unlink the live rings at exit unless we untrack.
+            fresh_tracker = getattr(
+                resource_tracker._resource_tracker, "_fd", None) is None
+            in_ring = SlabRing(name=ring_names[0], untrack=fresh_tracker)
+            out_ring = SlabRing(name=ring_names[1], untrack=fresh_tracker)
+        schema = spec.schema
         worker = ShardWorker(spec)
         outbox.put(("ready", spec.shard_id, worker.seq))
         while True:
             message = inbox.get()
+            if message[0] == "batch_slab":
+                message = ("batch", message[1],
+                           _pop_batch_slab(in_ring, schema,
+                                           message[1], message[2]))
             try:
                 replies = worker.handle(message)
             except SimulatedCrash:
                 os._exit(2)
             for reply in replies:
-                outbox.put(reply)
+                outbox.put(_slab_reply(out_ring, schema, reply))
             if message[0] == "stop":
                 break
+        for ring in (in_ring, out_ring):
+            if ring is not None:
+                ring.close()
     except Exception as exc:  # pragma: no cover - defensive reporting
         try:
             outbox.put(("error", spec.shard_id, repr(exc)))

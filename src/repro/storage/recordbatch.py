@@ -124,6 +124,46 @@ class RecordBatch:
             return cls.empty(schema)
         return cls(schema, np.concatenate(arrays))
 
+    @classmethod
+    def from_shared(cls, schema: RecordSchema, buffer,
+                    n_records: int) -> "RecordBatch":
+        """Zero-copy view over a shared-memory buffer (IPC receive).
+
+        ``buffer`` is typically a :class:`~repro.service.shm.Slab`
+        payload view; the batch aliases it, so callers must
+        :meth:`copy` (or fully absorb) the batch before the ring slot
+        is released.
+        """
+        need = n_records * schema.record_size
+        if len(buffer) < need:
+            raise ValueError(
+                f"shared buffer holds {len(buffer)} B, need {need} B "
+                f"for {n_records} records")
+        array = np.frombuffer(buffer, dtype=schema.dtype, count=n_records)
+        return cls(schema, array)
+
+    def into_shared(self, buffer) -> int:
+        """Copy this batch's rows into a shared-memory buffer (IPC send).
+
+        One vectorised structured-array assignment -- no ``tobytes``
+        intermediate.  Returns the number of bytes written.
+        """
+        n = len(self._array)
+        need = n * self.schema.record_size
+        if len(buffer) < need:
+            raise ValueError(
+                f"shared buffer holds {len(buffer)} B, need {need} B")
+        dest = np.frombuffer(buffer, dtype=self.schema.dtype, count=n)
+        dest[:] = self._array
+        return need
+
+    def __reduce__(self):
+        # Queue-fallback path: pickle as (schema, raw bytes).  The
+        # contiguous copy keeps views (from_bytes / slices) picklable.
+        return (_rebuild_batch,
+                (self.schema, np.ascontiguousarray(self._array).tobytes(),
+                 len(self._array)))
+
     # -- array access -----------------------------------------------------
 
     @property
@@ -244,3 +284,10 @@ class RecordBatch:
         return (f"RecordBatch({len(self._array)} x "
                 f"{self.schema.record_size} B"
                 f"{', weighted' if self.schema.weighted else ''})")
+
+
+def _rebuild_batch(schema: RecordSchema, data: bytes,
+                   n_records: int) -> RecordBatch:
+    """Pickle target for :class:`RecordBatch` (writable on arrival)."""
+    array = np.frombuffer(data, dtype=schema.dtype, count=n_records).copy()
+    return RecordBatch(schema, array)

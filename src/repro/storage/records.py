@@ -128,6 +128,19 @@ class RecordSchema:
         self._codec = _full_struct(record_size, weighted)
         self._padded = record_size > minimum
 
+    def __reduce__(self):
+        # The cached struct.Struct codec is unpicklable; rebuild from
+        # the two defining parameters instead (cache makes it cheap).
+        return _rebuild_schema, (self.record_size, self.weighted)
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, RecordSchema)
+                and self.record_size == other.record_size
+                and self.weighted == other.weighted)
+
+    def __hash__(self) -> int:
+        return hash((self.record_size, self.weighted))
+
     @property
     def dtype(self) -> np.dtype:
         """Packed numpy structured dtype of one record slot.
@@ -267,3 +280,8 @@ RecordBatch` viewing ``data`` directly (copy it before mutating).
         from .recordbatch import RecordBatch
 
         return RecordBatch.from_bytes(self, data, n_records)
+
+
+def _rebuild_schema(record_size: int, weighted: bool) -> RecordSchema:
+    """Pickle target for :class:`RecordSchema` (weighted is kw-only)."""
+    return RecordSchema(record_size, weighted=weighted)

@@ -35,6 +35,7 @@ and all measured waiting is surfaced (``send_wait_seconds`` /
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import queue as queue_module
 import time
@@ -58,6 +59,8 @@ from .worker import ShardWorker, SimulatedCrash, worker_main
 #: stops quantizing at 50 ms while idle waits stay as cheap as before.
 _WAIT_FLOOR = 0.0005
 _WAIT_CEIL = 0.05
+
+_log = logging.getLogger(__name__)
 
 
 class _AdaptiveWait:
@@ -108,6 +111,7 @@ class InlinePool:
     zero_copy_bytes = 0
     fallback_slabs = 0
     ring_stalls = 0
+    dropped_replies = 0
     send_wait_seconds = 0.0
     recv_wait_seconds = 0.0
 
@@ -227,6 +231,7 @@ class ProcessPool:
         self.zero_copy_bytes = 0
         self.fallback_slabs = 0
         self.ring_stalls = 0
+        self.dropped_replies = 0
         self.send_wait_seconds = 0.0
         self.recv_wait_seconds = 0.0
         #: Optional observer called once per slab moved over a ring,
@@ -306,7 +311,13 @@ class ProcessPool:
         """
         if (self.ipc == "shm" and message[0] == "batch"
                 and isinstance(message[2], RecordBatch)):
-            return self._send_slab(shard_id, message)
+            if message[2].schema == self._schemas[shard_id]:
+                return self._send_slab(shard_id, message)
+            # A batch whose schema is not the shard's declared layout
+            # (weighted rows, different record size) would be misdecoded
+            # by the slab codec on the other side: it rides the pickled
+            # queue instead, where the batch carries its own schema.
+            self.fallback_slabs += 1
         return self._send_queue(shard_id, message)
 
     def _send_queue(self, shard_id: int, message: tuple) -> int:
@@ -472,15 +483,31 @@ class ProcessPool:
 
     def drain(self, shard_id: int) -> list[tuple]:
         """Harvest every buffered reply (e.g. late checkpoint acks
-        written just before a crash)."""
+        written just before a crash).
+
+        A slab stub whose frame never arrived, or arrived torn
+        (worker died mid-write), cannot be translated: that one reply
+        is dropped -- logged and counted in ``dropped_replies`` so the
+        loss is observable -- while later queue-only replies (late
+        checkpoint acks) still come through.  A dropped batch ack is
+        recovered by journal replay; a dropped query answer is gone,
+        which the caller sees as a shorter drain list.
+        """
         buffer = self._buffers[shard_id]
-        try:
-            self._slurp(shard_id)
-        except ShardDead:
-            # A stub whose frame never arrived (producer died between
-            # frame and stub is impossible, but mid-write tears are
-            # not): keep what translated cleanly, drop the rest.
-            pass
+        outbox = self._outboxes[shard_id]
+        while True:
+            try:
+                reply = outbox.get_nowait()
+            except queue_module.Empty:
+                break
+            try:
+                buffer.append(self._translate(shard_id, reply))
+            except ShardDead as exc:
+                self.dropped_replies += 1
+                _log.warning(
+                    "shard %d: dropping %r reply during drain "
+                    "(slab translation failed: %s)",
+                    shard_id, reply[0], exc)
         drained = list(buffer)
         buffer.clear()
         return drained

@@ -237,6 +237,17 @@ class ShardedReservoir:
         if self._closed:
             raise RuntimeError("service is closed")
         if isinstance(records, RecordBatch):
+            if records.schema != RecordSchema(self.config.record_size):
+                # Rejected up front, before the journal sees it: a
+                # journaled batch the shards cannot apply would be
+                # replayed forever by crash recovery.  (Weighted input
+                # is unsupported service-wide -- weighted shard laws
+                # derive weights from record fields via law_params.)
+                raise ValueError(
+                    f"batch schema {records.schema.record_size} B"
+                    f"{' weighted' if records.schema.weighted else ''} "
+                    f"does not match the service's record layout "
+                    f"({self.config.record_size} B, unweighted)")
             if self._hot is not None:
                 self._hot.observe_batch(records)
             if self._pool.supports_batches:
@@ -406,6 +417,7 @@ class ShardedReservoir:
             "zero_copy_bytes": pool.zero_copy_bytes,
             "fallback_slabs": pool.fallback_slabs,
             "ring_stalls": pool.ring_stalls,
+            "dropped_replies": pool.dropped_replies,
             "send_wait_seconds": round(pool.send_wait_seconds, 6),
             "recv_wait_seconds": round(pool.recv_wait_seconds, 6),
             "ring_depth_bytes": sum(

@@ -198,14 +198,14 @@ class SlabRing:
         capacity: data-area bytes for a fresh ring (rounded up to the
             frame alignment); ignored when attaching (the control area
             records it).
-        untrack: on attach, drop the segment from this process's
-            :mod:`multiprocessing.resource_tracker`.  Required in a
-            child with its *own* tracker (spawn start method), where
-            the attach-side registration would otherwise unlink the
-            creator's live segment when the child exits; must stay
-            ``False`` when the tracker is shared with the creator
-            (fork children, same-process attaches), where untracking
-            would strip the creator's registration instead.
+        untrack: attach without letting *this* process's
+            :mod:`multiprocessing.resource_tracker` own the segment --
+            the right setting for every attacher that does not own the
+            ring's lifetime (shard workers; the creator unlinks).  On
+            CPython 3.13+ this skips tracker registration entirely
+            (``track=False``); older interpreters fall back to a
+            conservative unregister that only fires when the process
+            runs a tracker of its own (see :func:`_attach_untracked`).
     """
 
     def __init__(self, name: str | None = None, *,
@@ -223,12 +223,11 @@ class SlabRing:
             self.capacity = capacity
             _CONTROL.pack_into(self._shm.buf, 0, 0, 0, capacity, 0)
         else:
-            self._shm = _shared_memory.SharedMemory(name=name)
+            self._shm = (_attach_untracked(name) if untrack
+                         else _shared_memory.SharedMemory(name=name))
             self.owner = False
             _, _, capacity, _ = _CONTROL.unpack_from(self._shm.buf, 0)
             self.capacity = int(capacity)
-            if untrack:
-                _unregister_from_tracker(self._shm)
         self._buf = self._shm.buf
         self._data = self._shm.buf[CONTROL_BYTES:CONTROL_BYTES
                                    + self.capacity]
@@ -454,10 +453,34 @@ class SlabRing:
             pass
 
 
-def _unregister_from_tracker(shm) -> None:
-    """Stop the resource tracker from reaping an attached segment."""
-    try:  # pragma: no cover - depends on CPython internals by design
-        from multiprocessing import resource_tracker
-        resource_tracker.unregister(shm._name, "shared_memory")
-    except Exception:
+def _attach_untracked(name: str):
+    """Attach to a segment without this process's tracker owning it.
+
+    CPython 3.13+ supports ``track=False``: no registration happens at
+    all, which is correct whether the process shares the creator's
+    resource tracker or runs its own.  Older interpreters always
+    register on attach; there the only lever is
+    ``resource_tracker.unregister``, which is safe *only* when this
+    process started a tracker of its own -- with a tracker inherited
+    from the creator (fork children, and spawn children too: CPython
+    hands the parent's tracker fd to ``spawn_main``), the registry
+    entry is shared and deduplicated by name, so unregistering would
+    strip the creator's leak-safety registration.  The pre-attach
+    ``_fd`` probe below detects the never-started-here case; it reads
+    a private CPython attribute, but only on the legacy fallback path.
+    """
+    try:
+        return _shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # pragma: no cover - CPython < 3.13 fallback
         pass
+    from multiprocessing import resource_tracker
+
+    fresh_tracker = getattr(
+        resource_tracker._resource_tracker, "_fd", None) is None
+    shm = _shared_memory.SharedMemory(name=name)
+    if fresh_tracker:
+        try:
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:
+            pass
+    return shm

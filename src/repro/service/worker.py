@@ -212,6 +212,17 @@ def _pop_batch_slab(ring, schema, seq: int, n_records: int) -> RecordBatch:
         raise TornSlabError(
             f"slab stream out of step: stub ({seq}, {n_records}) vs "
             f"frame ({slab.seq}, {slab.n_records})")
+    weighted, n_bytes = slab.weighted, slab.n_bytes
+    if (weighted != schema.weighted
+            or n_bytes != n_records * schema.record_size):
+        # Mirror of the supervisor's reply-side guard: a frame whose
+        # flags or size disagree with the shard's declared schema must
+        # never be decoded (every field would shift), only rejected.
+        ring.pop_done(slab)
+        raise TornSlabError(
+            f"batch slab at seq {seq} does not match the shard schema "
+            f"(weighted={weighted}, {n_bytes} B for "
+            f"{n_records} x {schema.record_size} B records)")
     batch = RecordBatch.from_shared(schema, slab.view, n_records).copy()
     ring.pop_done(slab)
     return batch
@@ -269,19 +280,15 @@ def worker_main(spec: ShardSpec, inbox, outbox, ring_names=None) -> None:
     in_ring = out_ring = None
     try:
         if ring_names is not None:
-            from multiprocessing import resource_tracker
-
             from .shm import SlabRing
 
-            # A fork child inherits the supervisor's resource tracker
-            # (fd already open): the attach registration is a no-op
-            # there and untracking would corrupt the supervisor's
-            # bookkeeping.  A spawn child starts its own tracker, which
-            # would unlink the live rings at exit unless we untrack.
-            fresh_tracker = getattr(
-                resource_tracker._resource_tracker, "_fd", None) is None
-            in_ring = SlabRing(name=ring_names[0], untrack=fresh_tracker)
-            out_ring = SlabRing(name=ring_names[1], untrack=fresh_tracker)
+            # The supervisor owns the rings' lifetime (it unlinks them
+            # on respawn/close); the worker must not let its own
+            # resource tracker reap them, so it attaches untracked --
+            # ``track=False`` on 3.13+, a conservative no-op/unregister
+            # fallback on older interpreters (see shm._attach_untracked).
+            in_ring = SlabRing(name=ring_names[0], untrack=True)
+            out_ring = SlabRing(name=ring_names[1], untrack=True)
         schema = spec.schema
         worker = ShardWorker(spec)
         outbox.put(("ready", spec.shard_id, worker.seq))

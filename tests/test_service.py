@@ -220,6 +220,37 @@ class TestRoundTrip:
         with pytest.raises(RuntimeError):
             service.stats()
 
+    def test_schema_mismatched_batch_rejected_before_journal(
+            self, tmp_path):
+        """A batch the shards could not apply must be refused up front.
+
+        Journaling it first would poison crash recovery (replay
+        re-sends it forever); and on the shm transport the slab codec
+        would silently misdecode a weighted or resized layout.  So
+        ``offer_batch`` validates the schema before the hot cache, the
+        journal, or any pool sees the batch.
+        """
+        from repro.storage.recordbatch import RecordBatch
+        from repro.storage.records import RecordSchema
+
+        with make_service(tmp_path / "svc") as service:
+            weighted = RecordBatch.from_records(
+                RecordSchema(32, weighted=True), keyed_records(10),
+                weights=[1.0] * 10)
+            with pytest.raises(ValueError, match="schema"):
+                service.offer_batch(weighted)
+            resized = RecordBatch.from_records(RecordSchema(48),
+                                               keyed_records(10))
+            with pytest.raises(ValueError, match="schema"):
+                service.offer_batch(resized)
+            assert service.stats().seen == 0
+            assert service.journal_depth == 0
+            # The matching schema still flows.
+            good = RecordBatch.from_records(RecordSchema(32),
+                                            keyed_records(10))
+            assert service.offer_batch(good) == 10
+            assert service.stats().seen == 10
+
     def test_invalid_construction(self, tmp_path):
         with pytest.raises(ValueError):
             make_service(tmp_path / "a", shards=0)

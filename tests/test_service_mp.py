@@ -15,10 +15,18 @@ Excluded from tier-1 by the ``service`` marker; run with::
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
 from conftest import keyed_records
-from repro.service import HAVE_SHM, ShardedReservoir
+from repro.service import (
+    HAVE_SHM,
+    ProcessPool,
+    ShardSpec,
+    ShardedReservoir,
+    default_device_spec,
+)
 from repro.storage.recordbatch import RecordBatch
 from repro.storage.records import RecordSchema
 from test_service import service_config
@@ -175,6 +183,87 @@ def test_hard_kill_with_slabs_in_flight(tmp_path):
         merged = service.sample_batch(30)
         assert len(merged) == 30
         assert all(0 <= k < 1200 for k in merged.keys.tolist())
+
+
+def make_pool(root, **kwargs):
+    config = service_config()
+    spec = ShardSpec(0, str(root), "geometric", config,
+                     default_device_spec("geometric", config), seed=3)
+    return ProcessPool([spec], **kwargs)
+
+
+@needs_shm
+def test_schema_mismatched_batch_never_rides_the_ring(tmp_path):
+    """A batch that is not the shard's declared layout skips the ring.
+
+    The slab codec decodes with the shard schema, so a weighted (or
+    resized) batch on the ring would shift every field; the pool must
+    route it over the pickled queue (which carries the batch's own
+    schema) and count the fallback, leaving the ring untouched.
+    """
+    pool = make_pool(tmp_path / "s0", ipc="shm")
+    try:
+        assert pool.recv(0, timeout=60.0)[0] == "ready"
+        weighted = RecordBatch.from_records(
+            RecordSchema(32, weighted=True), keyed_records(10),
+            weights=[1.0] * 10)
+        pool.send(0, ("batch", 1, weighted))
+        assert pool.fallback_slabs == 1
+        assert pool.zero_copy_bytes == 0
+        assert pool.ring_depth(0) == 0
+    finally:
+        pool.kill(0)
+        pool.close()
+
+
+@needs_shm
+def test_drain_counts_dropped_untranslatable_replies(tmp_path):
+    """drain() survives a stub whose frame never arrived.
+
+    A worker that dies between publishing a reply stub and its frame
+    (or mid-frame) leaves an untranslatable stub on the outbox: drain
+    must drop exactly that reply -- counted in ``dropped_replies`` --
+    while still delivering later queue-only replies such as late
+    checkpoint acks.
+    """
+    pool = make_pool(tmp_path / "s0", ipc="shm")
+    try:
+        assert pool.recv(0, timeout=60.0)[0] == "ready"
+        batch = RecordBatch.from_records(RecordSchema(32),
+                                         keyed_records(50))
+        pool.send(0, ("batch", 1, batch))
+        pool.send(0, ("sample", 7, 5))  # reply rides the outbound ring
+        pool.send(0, ("checkpoint",))  # queue-only ack behind the stub
+        ring = pool._out_rings[0]
+        deadline = time.monotonic() + 30.0
+        while ring.used_bytes == 0:
+            assert time.monotonic() < deadline, "reply frame never came"
+            time.sleep(0.005)
+        # Steal the reply frame (the parent is the ring's consumer, so
+        # this is legal): its stub on the outbox is now orphaned,
+        # exactly as if the frame had been torn by the worker's death.
+        slab = ring.try_pop()
+        assert slab is not None and slab.seq == 7
+        ring.pop_done(slab)
+        while True:  # both replies queued before the kill
+            try:
+                if pool._outboxes[0].qsize() >= 2:
+                    break
+            except NotImplementedError:  # pragma: no cover - macOS
+                time.sleep(0.5)
+                break
+            assert time.monotonic() < deadline, "acks never queued"
+            time.sleep(0.005)
+        pool.kill(0)
+        drained = []
+        while not any(r[0] == "checkpointed" for r in drained):
+            assert time.monotonic() < deadline, "ack never drained"
+            drained.extend(pool.drain(0))
+            time.sleep(0.005)
+        assert pool.dropped_replies == 1
+        assert not any(r[0].startswith("sample") for r in drained)
+    finally:
+        pool.close()
 
 
 @needs_shm

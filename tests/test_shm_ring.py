@@ -262,6 +262,42 @@ def test_shared_codec_rejects_short_buffers():
         RecordBatch.from_shared(schema, bytes(schema.record_size * 3), 4)
 
 
+def test_ingest_pop_rejects_schema_mismatched_frames():
+    """The worker never decodes a frame that disagrees with its schema.
+
+    A weighted-flagged frame (or one whose byte count is not
+    ``n_records`` whole records) against an unweighted shard schema
+    must raise :class:`TornSlabError` instead of shifting every field
+    by the 8 weight bytes -- the ingest-direction mirror of the
+    supervisor's reply-slab guard.
+    """
+    from repro.service.worker import _pop_batch_slab
+
+    schema = RecordSchema(32)
+    weighted = RecordSchema(32, weighted=True)
+    batch = RecordBatch.from_records(weighted, keyed_records(8),
+                                     weights=[1.0] * 8)
+    n_bytes = len(batch) * weighted.record_size
+    ring = SlabRing(capacity=4096)
+    try:
+        view = ring.try_reserve(n_bytes)
+        batch.into_shared(view)
+        ring.commit(KIND_DATA, 1, flags=FLAG_WEIGHTED,
+                    n_records=len(batch), n_bytes=n_bytes)
+        with pytest.raises(TornSlabError, match="schema"):
+            _pop_batch_slab(ring, schema, 1, len(batch))
+        assert ring.used_bytes == 0  # the bad frame was released
+
+        # Size mismatch alone (right flag, short payload) is caught too.
+        view = ring.try_reserve(24)
+        view[:] = b"\x00" * 24
+        ring.commit(KIND_DATA, 2, n_records=8, n_bytes=24)
+        with pytest.raises(TornSlabError, match="schema"):
+            _pop_batch_slab(ring, schema, 2, 8)
+    finally:
+        ring.unlink()
+
+
 def test_schema_and_batch_pickle_round_trip():
     """The queue fallback path pickles both; they must survive it."""
     schema = RecordSchema(50)
